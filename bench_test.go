@@ -1,0 +1,498 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (see DESIGN.md's experiment index E1-E15), plus design
+// ablations and micro-benchmarks of the substrates.
+//
+// Each figure bench regenerates the corresponding robustness grid with
+// the same rows (perturbation budgets) and columns (multipliers /
+// victims) the paper reports and prints it once; the benchmark metric
+// is wall-clock per full grid. Absolute accuracies differ from the
+// paper (synthetic data, substituted multiplier silicon — see
+// EXPERIMENTS.md); the qualitative shape is the reproduction target.
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem -timeout 2h .
+package repro_test
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/axmult"
+	"repro/internal/axnn"
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/errmodel"
+	"repro/internal/modelzoo"
+)
+
+// Paper sweep: the ten perturbation budgets of Figs. 4-8.
+var paperEps = []float64{0, 0.05, 0.1, 0.15, 0.2, 0.25, 0.5, 1, 1.5, 2}
+
+// benchSamples returns the evaluation-set size for the grid benches
+// (override with AXREPRO_BENCH_N).
+func benchSamples(def int) int {
+	if s := os.Getenv("AXREPRO_BENCH_N"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
+}
+
+var printOnce sync.Map
+
+// emit prints the grid the first time a benchmark runs it.
+func emit(b *testing.B, key string, text string) {
+	b.Helper()
+	if _, loaded := printOnce.LoadOrStore(key, true); !loaded {
+		fmt.Printf("\n===== %s =====\n%s", key, text)
+	}
+}
+
+// mnistVictims builds the M1..M9 AxDNN columns for LeNet-5.
+func mnistVictims(b *testing.B) (*modelzoo.Model, []core.Victim) {
+	b.Helper()
+	m, err := modelzoo.Get("lenet5-digits")
+	if err != nil {
+		b.Fatal(err)
+	}
+	v, err := core.BuildAxVictims(m.Net, m.Test, axmult.MNISTSet(), axnn.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m, v
+}
+
+// cifarVictims builds the M1..M8 AxDNN columns for AlexNet.
+func cifarVictims(b *testing.B) (*modelzoo.Model, []core.Victim) {
+	b.Helper()
+	m, err := modelzoo.Get("alexnet-objects")
+	if err != nil {
+		b.Fatal(err)
+	}
+	v, err := core.BuildAxVictims(m.Net, m.Test, axmult.CIFARSet(), axnn.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m, v
+}
+
+// gridBench is the shared driver for the Figs. 4-7 panels.
+func gridBench(b *testing.B, key, attackName string, cifar bool, samples int) {
+	var m *modelzoo.Model
+	var victims []core.Victim
+	if cifar {
+		m, victims = cifarVictims(b)
+	} else {
+		m, victims = mnistVictims(b)
+	}
+	atk := attack.ByName(attackName)
+	opts := core.Options{Samples: benchSamples(samples), Seed: 7}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := core.RobustnessGrid(m.Net, victims, m.Test, atk, paperEps, opts)
+		loss, victim, eps := g.MaxAccuracyLoss()
+		b.ReportMetric(loss, "max-acc-loss-%")
+		emit(b, key, fmt.Sprintf("%s-> max accuracy loss %.0f%% on %s at eps=%g\n", g, loss, victim, eps))
+	}
+}
+
+// ---- E1: Fig. 1 motivational study ----
+
+func BenchmarkFig1_Motivation(b *testing.B) {
+	lenet, err := modelzoo.Get("lenet5-digits")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ffnn, err := modelzoo.Get("ffnn-digits")
+	if err != nil {
+		b.Fatal(err)
+	}
+	lv, err := core.BuildAxVictims(lenet.Net, lenet.Test, []string{"mul8u_1JFF", "mul8u_17KS"}, axnn.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	fv, err := core.BuildAxVictims(ffnn.Net, ffnn.Test, []string{"mul8u_1JFF", "mul8u_L1G"}, axnn.Options{ApproxDense: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := core.Options{Samples: benchSamples(150), Seed: 11}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var out string
+		for _, atk := range []attack.Attack{attack.ByName("PGD-linf"), attack.ByName("CR-l2")} {
+			gl := core.RobustnessGrid(lenet.Net, lv, lenet.Test, atk, paperEps, opts)
+			gf := core.RobustnessGrid(ffnn.Net, fv, ffnn.Test, atk, paperEps, opts)
+			out += fmt.Sprintf("[LeNet-5] %s[FFNN] %s", gl, gf)
+		}
+		emit(b, "Fig1 motivational study (PGD-linf defensive, CR-l2 not)", out)
+	}
+}
+
+// ---- E2-E5: Fig. 4 — BIM and FGM grids on LeNet-5 ----
+
+func BenchmarkFig4a_BIMLinf(b *testing.B) {
+	gridBench(b, "Fig4a BIM-linf LeNet-5", "BIM-linf", false, 150)
+}
+func BenchmarkFig4b_BIML2(b *testing.B) { gridBench(b, "Fig4b BIM-l2 LeNet-5", "BIM-l2", false, 150) }
+func BenchmarkFig4c_FGMLinf(b *testing.B) {
+	gridBench(b, "Fig4c FGM-linf LeNet-5", "FGM-linf", false, 150)
+}
+func BenchmarkFig4d_FGML2(b *testing.B) { gridBench(b, "Fig4d FGM-l2 LeNet-5", "FGM-l2", false, 150) }
+
+// ---- E6-E9: Fig. 5 — PGD and RAU grids on LeNet-5 ----
+
+func BenchmarkFig5a_PGDL2(b *testing.B) { gridBench(b, "Fig5a PGD-l2 LeNet-5", "PGD-l2", false, 150) }
+func BenchmarkFig5b_PGDLinf(b *testing.B) {
+	gridBench(b, "Fig5b PGD-linf LeNet-5", "PGD-linf", false, 150)
+}
+func BenchmarkFig5c_RAUL2(b *testing.B) { gridBench(b, "Fig5c RAU-l2 LeNet-5", "RAU-l2", false, 150) }
+func BenchmarkFig5d_RAULinf(b *testing.B) {
+	gridBench(b, "Fig5d RAU-linf LeNet-5", "RAU-linf", false, 150)
+}
+
+// ---- E10-E11: Fig. 6 — CR and RAG grids on LeNet-5 ----
+
+func BenchmarkFig6a_CRL2(b *testing.B)  { gridBench(b, "Fig6a CR-l2 LeNet-5", "CR-l2", false, 150) }
+func BenchmarkFig6b_RAGL2(b *testing.B) { gridBench(b, "Fig6b RAG-l2 LeNet-5", "RAG-l2", false, 150) }
+
+// ---- E12: Fig. 7 — decision-based grids on AlexNet / CIFAR-like ----
+
+func BenchmarkFig7a_CRL2(b *testing.B)  { gridBench(b, "Fig7a CR-l2 AlexNet", "CR-l2", true, 80) }
+func BenchmarkFig7b_RAGL2(b *testing.B) { gridBench(b, "Fig7b RAG-l2 AlexNet", "RAG-l2", true, 80) }
+func BenchmarkFig7c_RAUL2(b *testing.B) { gridBench(b, "Fig7c RAU-l2 AlexNet", "RAU-l2", true, 80) }
+func BenchmarkFig7d_RAULinf(b *testing.B) {
+	gridBench(b, "Fig7d RAU-linf AlexNet", "RAU-linf", true, 80)
+}
+
+// ---- E13: Fig. 8 — quantized vs float accurate LeNet-5, all attacks ----
+
+func BenchmarkFig8_Quantization(b *testing.B) {
+	m, err := modelzoo.Get("lenet5-digits")
+	if err != nil {
+		b.Fatal(err)
+	}
+	victims, err := core.QuantPair(m.Net, m.Test, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := core.Options{Samples: benchSamples(150), Seed: 5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var out string
+		var qWins, total int
+		for _, atk := range attack.All() {
+			g := core.RobustnessGrid(m.Net, victims, m.Test, atk, paperEps, opts)
+			out += g.String()
+			q, f := g.Column(victims[1].Name), g.Column("float")
+			for j := range q {
+				total++
+				if q[j] >= f[j] {
+					qWins++
+				}
+			}
+		}
+		b.ReportMetric(100*float64(qWins)/float64(total), "q8-wins-%")
+		emit(b, "Fig8 quantized (q8) vs float LeNet-5, all 10 attacks", out+
+			fmt.Sprintf("-> quantized >= float on %d/%d (attack, eps) points\n", qWins, total))
+	}
+}
+
+// ---- E14: Table II — transferability ----
+
+func BenchmarkTable2_Transferability(b *testing.B) {
+	type pair struct{ lenet, alex, label string }
+	families := []pair{
+		{"lenet5-digits32", "alexnet-digits", "digits"},
+		{"lenet5-objects", "alexnet-objects", "objects"},
+	}
+	atk := attack.ByName("BIM-linf")
+	opts := core.Options{Samples: benchSamples(150), Seed: 17}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := ""
+		for _, fam := range families {
+			ln := modelzoo.MustGet(fam.lenet)
+			ax := modelzoo.MustGet(fam.alex)
+			// Victims use their dataset-appropriate multiplier (the
+			// paper selects multipliers per error resilience): 17KS for
+			// LeNet-5, KEM for the deeper AlexNet.
+			lv, err := core.BuildAxVictims(ln.Net, ln.Test, []string{"mul8u_17KS"}, axnn.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			av, err := core.BuildAxVictims(ax.Net, ax.Test, []string{"mul8u_KEM"}, axnn.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, cell := range []struct {
+				src *modelzoo.Model
+				vic core.Victim
+				tag string
+			}{
+				{ln, lv[0], "AccL5  -> AxL5 "},
+				{ln, av[0], "AccL5  -> AxAlx"},
+				{ax, lv[0], "AccAlx -> AxL5 "},
+				{ax, av[0], "AccAlx -> AxAlx"},
+			} {
+				r := core.Transfer(cell.src.Net, cell.vic, cell.src.Test, atk, 0.05, opts)
+				out += fmt.Sprintf("%s [%s]: %3.0f/%-3.0f\n", cell.tag, fam.label, r.CleanAcc, r.AdvAcc)
+			}
+		}
+		emit(b, "Table II transferability (BIM-linf eps=0.05, X/Y = before/after)", out)
+	}
+}
+
+// ---- E15: multiplier error metrics (the Section IV-B MAE table) ----
+
+func BenchmarkMultiplierMetrics(b *testing.B) {
+	names := append(append([]string{}, axmult.MNISTSet()...), axmult.CIFARSet()[1:]...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := fmt.Sprintf("%-14s %9s %9s %9s %10s\n", "multiplier", "MAE%", "WCE%", "MRE%", "bias")
+		for _, n := range names {
+			m, err := errmodel.MeasureNamed(n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			out += fmt.Sprintf("%-14s %9.4f %9.3f %9.3f %+10.1f\n", m.Name, m.MAEP, m.WCEP, m.MRE, m.Bias)
+		}
+		emit(b, "Multiplier error metrics (MAE table)", out)
+	}
+}
+
+// BenchmarkEnergyRobustnessTradeoff quantifies the paper's premise:
+// the energy saved by each approximate design against the robustness
+// it costs under the strongest attack at a small budget.
+func BenchmarkEnergyRobustnessTradeoff(b *testing.B) {
+	m, victims := mnistVictims(b)
+	opts := core.Options{Samples: benchSamples(150), Seed: 7}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := core.RobustnessGrid(m.Net, victims, m.Test, attack.ByName("BIM-linf"), []float64{0, 0.05}, opts)
+		acc := map[string]float64{}
+		for vi, name := range g.Victims {
+			acc[name] = g.Acc[1][vi]
+		}
+		rows, err := energy.Tradeoff(axmult.MNISTSet(), acc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out := ""
+		for _, r := range rows {
+			out += r.String() + " (robustness at BIM-linf eps=0.05)\n"
+		}
+		emit(b, "Energy vs robustness trade-off (LeNet-5, M1..M9)", out)
+	}
+}
+
+// ---- Ablations (design choices called out in DESIGN.md) ----
+
+// BenchmarkAblationZeroPoint shows the exact zero-point correction is
+// load-bearing: without it, even the exact-multiplier engine collapses.
+func BenchmarkAblationZeroPoint(b *testing.B) {
+	m, err := modelzoo.Get("lenet5-digits")
+	if err != nil {
+		b.Fatal(err)
+	}
+	withZP, err := core.BuildAxVictims(m.Net, m.Test, []string{"mul8u_1JFF"}, axnn.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	withoutZP, err := core.BuildAxVictims(m.Net, m.Test, []string{"mul8u_1JFF"}, axnn.Options{NoZeroPointCorrection: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	victims := []core.Victim{
+		{Name: "zp-corrected", Factory: withZP[0].Factory},
+		{Name: "no-zp", Factory: withoutZP[0].Factory},
+	}
+	opts := core.Options{Samples: benchSamples(150), Seed: 3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := core.RobustnessGrid(m.Net, victims, m.Test, attack.ByName("FGM-linf"), []float64{0}, opts)
+		emit(b, "Ablation: zero-point correction", g.String())
+	}
+}
+
+// BenchmarkAblationQuantBits sweeps the Qlevel (8/6/4 bits).
+func BenchmarkAblationQuantBits(b *testing.B) {
+	m, err := modelzoo.Get("lenet5-digits")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var victims []core.Victim
+	for _, bits := range []uint{8, 6, 4} {
+		v, err := core.BuildAxVictims(m.Net, m.Test, []string{"mul8u_1JFF"}, axnn.Options{Bits: bits})
+		if err != nil {
+			b.Fatal(err)
+		}
+		victims = append(victims, core.Victim{Name: fmt.Sprintf("q%d", bits), Factory: v[0].Factory})
+	}
+	opts := core.Options{Samples: benchSamples(150), Seed: 3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := core.RobustnessGrid(m.Net, victims, m.Test, attack.ByName("PGD-linf"), []float64{0, 0.1, 0.2}, opts)
+		emit(b, "Ablation: quantization bit width", g.String())
+	}
+}
+
+// BenchmarkAblationDenseApprox measures the extra damage of routing
+// dense layers through the approximate multiplier too.
+func BenchmarkAblationDenseApprox(b *testing.B) {
+	m, err := modelzoo.Get("lenet5-digits")
+	if err != nil {
+		b.Fatal(err)
+	}
+	convOnly, err := core.BuildAxVictims(m.Net, m.Test, []string{"mul8u_FTA"}, axnn.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	convDense, err := core.BuildAxVictims(m.Net, m.Test, []string{"mul8u_FTA"}, axnn.Options{ApproxDense: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	victims := []core.Victim{
+		{Name: "conv-only", Factory: convOnly[0].Factory},
+		{Name: "conv+dense", Factory: convDense[0].Factory},
+	}
+	opts := core.Options{Samples: benchSamples(150), Seed: 3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := core.RobustnessGrid(m.Net, victims, m.Test, attack.ByName("BIM-linf"), []float64{0, 0.1}, opts)
+		emit(b, "Ablation: approximate dense layers (FTA)", g.String())
+	}
+}
+
+// ---- Micro-benchmarks of the substrates ----
+
+func BenchmarkMulLUT(b *testing.B) {
+	lut := axmult.MustLookup("mul8u_JV3")
+	var s uint32
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s += uint32(lut.Mul(uint8(i), uint8(i>>8)))
+	}
+	_ = s
+}
+
+func BenchmarkMulCircuitArray(b *testing.B) {
+	m, err := axmult.New("mul8u_1JFF")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var s uint32
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s += uint32(m.Mul(uint8(i), uint8(i>>8)))
+	}
+	_ = s
+}
+
+func BenchmarkMulCircuitMitchell(b *testing.B) {
+	m, err := axmult.New("mul8u_JV3")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var s uint32
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s += uint32(m.Mul(uint8(i), uint8(i>>8)))
+	}
+	_ = s
+}
+
+// BenchmarkAblationLUTvsCircuit quantifies why the engine compiles
+// circuits to LUTs (TFApprox's design choice).
+func BenchmarkAblationLUTvsCircuit(b *testing.B) {
+	circuit, err := axmult.New("mul8u_1JFF") // gate-level array model
+	if err != nil {
+		b.Fatal(err)
+	}
+	lut := axmult.Compile(circuit)
+	b.Run("circuit", func(b *testing.B) {
+		var s uint32
+		for i := 0; i < b.N; i++ {
+			s += uint32(circuit.Mul(uint8(i), uint8(i>>8)))
+		}
+		_ = s
+	})
+	b.Run("lut", func(b *testing.B) {
+		var s uint32
+		for i := 0; i < b.N; i++ {
+			s += uint32(lut.Mul(uint8(i), uint8(i>>8)))
+		}
+		_ = s
+	})
+}
+
+func BenchmarkQuantizedInferenceLeNet(b *testing.B) {
+	m, err := modelzoo.Get("lenet5-digits")
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := axnn.Compile(m.Net, m.Test.Inputs(32), axnn.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q = q.WithMultiplier(axmult.MustLookup("mul8u_17KS"))
+	x := m.Test.X[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Logits(x)
+	}
+}
+
+func BenchmarkQuantizedInferenceAlexNet(b *testing.B) {
+	m, err := modelzoo.Get("alexnet-objects")
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := axnn.Compile(m.Net, m.Test.Inputs(32), axnn.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q = q.WithMultiplier(axmult.MustLookup("mul8u_QJD"))
+	x := m.Test.X[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Logits(x)
+	}
+}
+
+func BenchmarkFloatInferenceLeNet(b *testing.B) {
+	m, err := modelzoo.Get("lenet5-digits")
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := m.Net.Clone()
+	x := m.Test.X[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Logits(x)
+	}
+}
+
+func BenchmarkAttackPGDLinf(b *testing.B) {
+	m, err := modelzoo.Get("lenet5-digits")
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := m.Net.Clone()
+	atk := attack.ByName("PGD-linf")
+	rng := rand.New(rand.NewSource(1))
+	x, y := m.Test.X[0], m.Test.Y[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		adv := atk.Perturb(n, x, y, 0.1, rng)
+		if adv.Len() != x.Len() {
+			b.Fatal("bad adv")
+		}
+	}
+}

@@ -1,0 +1,53 @@
+// Command axmultinfo prints exhaustive error metrics for the registered
+// approximate multipliers (the repo's stand-ins for the EvoApprox8b
+// designs the paper uses). It reproduces the MAE% figures quoted in
+// Section IV-B of the paper; -energy adds the relative hardware-cost
+// proxies (the EvoApprox-style power/area/delay columns).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/axmult"
+	"repro/internal/energy"
+	"repro/internal/errmodel"
+)
+
+func main() {
+	all := flag.Bool("all", false, "report every registered design, not just the paper's sets")
+	withEnergy := flag.Bool("energy", false, "add relative energy/area/delay columns")
+	flag.Parse()
+
+	names := append(axmult.MNISTSet(), axmult.CIFARSet()[1:]...)
+	names = append(names, "mul8u_L1G")
+	if *all {
+		names = axmult.Names()
+	}
+	fmt.Printf("%-14s %10s %10s %10s %10s %8s", "multiplier", "MAE%", "WCE%", "MRE%", "bias", "errprob")
+	if *withEnergy {
+		fmt.Printf(" %8s %8s %8s", "energy", "area", "delay")
+	}
+	fmt.Println()
+	for _, n := range names {
+		m, err := errmodel.MeasureNamed(n)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%-14s %10.4f %10.3f %10.3f %+10.1f %8.3f", m.Name, m.MAEP, m.WCEP, m.MRE, m.Bias, m.EP)
+		if *withEnergy {
+			c, err := energy.Estimate(n)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf(" %7.2fx %7.2fx %7.2fx", c.Energy, c.Area, c.Delay)
+		}
+		fmt.Println()
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "axmultinfo:", err)
+	os.Exit(1)
+}

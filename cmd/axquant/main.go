@@ -1,0 +1,66 @@
+// Command axquant reproduces the paper's Fig. 8: adversarial robustness
+// of the quantized versus non-quantized accurate LeNet-5 across all ten
+// attacks and the full perturbation sweep, plus (with -mult) the
+// adversarial quantization-vs-approximation comparison of Section IV-D.
+//
+// Usage:
+//
+//	axquant                      # Fig. 8 curves (float vs 8-bit)
+//	axquant -bits 4              # different Qlevel
+//	axquant -mult mul8u_L40      # add an AxDNN column (Section IV-D)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/attack"
+	"repro/internal/axnn"
+	"repro/internal/core"
+	"repro/internal/modelzoo"
+)
+
+func main() {
+	model := flag.String("model", "lenet5-digits", "trained model")
+	n := flag.Int("n", 300, "test samples")
+	bits := flag.Uint("bits", 8, "quantization level (Qlevel)")
+	mult := flag.String("mult", "", "optional approximate multiplier column")
+	flag.Parse()
+
+	m, err := modelzoo.Get(*model)
+	if err != nil {
+		fail(err)
+	}
+	victims, err := core.QuantPair(m.Net, m.Test, *bits)
+	if err != nil {
+		fail(err)
+	}
+	if *mult != "" {
+		ax, err := core.BuildAxVictims(m.Net, m.Test, []string{*mult}, axnn.Options{Bits: *bits})
+		if err != nil {
+			fail(err)
+		}
+		victims = append(victims, ax...)
+	}
+
+	eps := []float64{0, 0.05, 0.1, 0.15, 0.2, 0.25, 0.5, 1, 1.5, 2}
+	for _, atk := range attack.All() {
+		g := core.RobustnessGrid(m.Net, victims, m.Test, atk, eps, core.Options{Samples: *n, Seed: 5})
+		fmt.Print(g)
+		if q, f := g.Column(victims[1].Name), g.Column("float"); q != nil && f != nil {
+			var qWins int
+			for i := range q {
+				if q[i] >= f[i] {
+					qWins++
+				}
+			}
+			fmt.Printf("-> quantized >= float on %d/%d budgets\n\n", qWins, len(eps))
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "axquant:", err)
+	os.Exit(1)
+}

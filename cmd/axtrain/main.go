@@ -1,0 +1,34 @@
+// Command axtrain trains the experiment models (step 1 of the paper's
+// methodology, Fig. 3) and caches their weights under testdata/models.
+// Subsequent experiment runs — tests, benches, the other commands —
+// load the cached weights instead of retraining.
+//
+// Usage:
+//
+//	axtrain            # train every model that is not cached yet
+//	axtrain lenet5-digits alexnet-objects
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/modelzoo"
+)
+
+func main() {
+	names := os.Args[1:]
+	if len(names) == 0 {
+		names = modelzoo.Names()
+	}
+	for _, n := range names {
+		start := time.Now()
+		m, err := modelzoo.Get(n)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "axtrain:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-18s clean accuracy %.1f%%  (%s)\n", n, m.CleanAcc, time.Since(start).Round(time.Millisecond))
+	}
+}

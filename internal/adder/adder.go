@@ -1,0 +1,145 @@
+// Package adder models 1-bit adder cells, exact and approximate.
+//
+// Approximate multipliers in the EvoApprox design space (and the defensive
+// approximation work of Guesmi et al., ASPLOS 2021) are built from arrays
+// of full-adder cells in which some cells are replaced by cheaper,
+// error-prone variants such as the approximate mirror adders (AMA) of
+// Gupta et al. This package provides behavioural models of those cells:
+// each cell is a function from (a, b, cin) to (sum, cout).
+//
+// The AMA cells here are simplified behavioural variants in the spirit of
+// the published mirror-adder family; their exact truth tables are part of
+// this package's contract and are verified (error counts included) by the
+// package tests. See DESIGN.md for the substitution rationale.
+package adder
+
+// Cell is a behavioural model of a 1-bit adder cell. Inputs and outputs
+// are 0 or 1; behaviour for other values is undefined.
+type Cell func(a, b, cin uint32) (sum, cout uint32)
+
+// Exact is the exact full adder: sum = a xor b xor cin,
+// cout = majority(a, b, cin).
+func Exact(a, b, cin uint32) (sum, cout uint32) {
+	sum = a ^ b ^ cin
+	cout = (a & b) | (cin & (a ^ b))
+	return sum, cout
+}
+
+// AMA1 keeps the exact carry chain but approximates the sum as the
+// complement of the carry-out. It errs on 2 of the 8 input patterns
+// (000 and 111), both in the sum bit.
+func AMA1(a, b, cin uint32) (sum, cout uint32) {
+	_, cout = Exact(a, b, cin)
+	return cout ^ 1, cout
+}
+
+// AMA2 passes b through as the sum while keeping the exact carry.
+// It errs on 4 of the 8 input patterns, all in the sum bit.
+func AMA2(a, b, cin uint32) (sum, cout uint32) {
+	_, cout = Exact(a, b, cin)
+	return b, cout
+}
+
+// AMA3 passes b through as the sum and a through as the carry.
+// It has 4 sum-bit and 2 carry-bit errors, affecting 4 of the 8 input
+// patterns.
+func AMA3(a, b, cin uint32) (sum, cout uint32) {
+	return b, a
+}
+
+// AMA4 ignores the carry-in entirely: sum = a xor b, cout = a and b.
+// This is the classic "half-adder in place of a full adder" cut.
+// It errs on 4 of the 8 input patterns.
+func AMA4(a, b, cin uint32) (sum, cout uint32) {
+	return a ^ b, a & b
+}
+
+// AMA5 reduces the cell to a buffer on b: sum = b, cout = b.
+// This is the most aggressive mirror-adder simplification.
+// It errs on 6 of the 8 input patterns.
+func AMA5(a, b, cin uint32) (sum, cout uint32) {
+	return b, b
+}
+
+// ORCell approximates addition by a bitwise OR: sum = a | b | cin,
+// cout = 0. This is the cell used in the lower part of a
+// lower-part-OR adder (LOA). It errs whenever two or more inputs are set.
+func ORCell(a, b, cin uint32) (sum, cout uint32) {
+	return a | b | cin, 0
+}
+
+// Named returns the cell registered under name, or nil if unknown.
+// Valid names: "exact", "ama1".."ama5", "or".
+func Named(name string) Cell {
+	switch name {
+	case "exact":
+		return Exact
+	case "ama1":
+		return AMA1
+	case "ama2":
+		return AMA2
+	case "ama3":
+		return AMA3
+	case "ama4":
+		return AMA4
+	case "ama5":
+		return AMA5
+	case "or":
+		return ORCell
+	}
+	return nil
+}
+
+// ErrorCount returns how many of the 8 input patterns produce a result
+// (interpreted as the 2-bit value 2*cout + sum) different from the exact
+// full adder. It is a design-time metric for cell selection.
+func ErrorCount(c Cell) int {
+	n := 0
+	for p := uint32(0); p < 8; p++ {
+		a, b, cin := p&1, (p>>1)&1, (p>>2)&1
+		s, co := c(a, b, cin)
+		es, eco := Exact(a, b, cin)
+		if 2*co+s != 2*eco+es {
+			n++
+		}
+	}
+	return n
+}
+
+// RippleCarry adds two n-bit operands using the given cell for the k
+// least-significant positions and the exact cell above, returning the
+// (n+1)-bit sum. It models a ripple-carry adder with an approximate
+// lower part. With k == 0 it is an exact adder.
+func RippleCarry(cell Cell, a, b uint32, n, k uint) uint32 {
+	var sum, carry uint32
+	for i := uint(0); i < n; i++ {
+		c := Exact
+		if i < k {
+			c = cell
+		}
+		s, co := c((a>>i)&1, (b>>i)&1, carry)
+		sum |= (s & 1) << i
+		carry = co & 1
+	}
+	return sum | carry<<n
+}
+
+// LOA adds two n-bit operands with a lower-part-OR adder: the k low bits
+// are OR-ed (no carries), the upper part is added exactly with a carry-in
+// generated from the AND of the most significant lower-part bits, per the
+// classic LOA design.
+func LOA(a, b uint32, n, k uint) uint32 {
+	if k == 0 {
+		return a + b
+	}
+	if k > n {
+		k = n
+	}
+	low := (a | b) & ((1 << k) - 1)
+	var cin uint32
+	if k >= 1 {
+		cin = ((a >> (k - 1)) & 1) & ((b >> (k - 1)) & 1)
+	}
+	high := (a >> k) + (b >> k) + cin
+	return high<<k | low
+}

@@ -1,0 +1,120 @@
+package adder
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestExactTruthTable(t *testing.T) {
+	for p := uint32(0); p < 8; p++ {
+		a, b, cin := p&1, (p>>1)&1, (p>>2)&1
+		s, co := Exact(a, b, cin)
+		want := a + b + cin
+		if 2*co+s != want {
+			t.Errorf("Exact(%d,%d,%d) = sum %d cout %d, want value %d", a, b, cin, s, co, want)
+		}
+	}
+}
+
+// TestApproxCellErrorCounts pins the documented error count of every
+// approximate cell; a change here is a change of the library contract.
+func TestApproxCellErrorCounts(t *testing.T) {
+	cases := []struct {
+		name string
+		want int
+	}{
+		{"exact", 0},
+		{"ama1", 2},
+		{"ama2", 4},
+		{"ama3", 4},
+		{"ama4", 4},
+		{"ama5", 6},
+		{"or", 4},
+	}
+	for _, c := range cases {
+		cell := Named(c.name)
+		if cell == nil {
+			t.Fatalf("Named(%q) = nil", c.name)
+		}
+		if got := ErrorCount(cell); got != c.want {
+			t.Errorf("ErrorCount(%s) = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestNamedUnknown(t *testing.T) {
+	if Named("nope") != nil {
+		t.Fatal("Named should return nil for unknown cells")
+	}
+}
+
+func TestCellOutputsAreBits(t *testing.T) {
+	for _, name := range []string{"exact", "ama1", "ama2", "ama3", "ama4", "ama5", "or"} {
+		cell := Named(name)
+		for p := uint32(0); p < 8; p++ {
+			s, co := cell(p&1, (p>>1)&1, (p>>2)&1)
+			if s > 1 || co > 1 {
+				t.Errorf("%s produced non-bit output (%d,%d)", name, s, co)
+			}
+		}
+	}
+}
+
+func TestRippleCarryExact(t *testing.T) {
+	for a := uint32(0); a < 256; a += 7 {
+		for b := uint32(0); b < 256; b += 5 {
+			if got := RippleCarry(Exact, a, b, 8, 0); got != a+b {
+				t.Fatalf("RippleCarry exact %d+%d = %d", a, b, got)
+			}
+		}
+	}
+}
+
+func TestRippleCarryApproxLowPartOnly(t *testing.T) {
+	// With k approximate low bits, the upper bits can only be wrong
+	// through the carry chain: the error must be bounded by 2^(k+1).
+	for a := uint32(0); a < 256; a += 3 {
+		for b := uint32(0); b < 256; b += 3 {
+			got := RippleCarry(AMA1, a, b, 8, 4)
+			diff := int64(got) - int64(a+b)
+			if diff > 1<<5 || diff < -(1<<5) {
+				t.Fatalf("RippleCarry(AMA1,k=4) %d+%d error %d too large", a, b, diff)
+			}
+		}
+	}
+}
+
+func TestLOAExactWhenK0(t *testing.T) {
+	f := func(a, b uint8) bool {
+		return LOA(uint32(a), uint32(b), 8, 0) == uint32(a)+uint32(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLOANeverOvershoots(t *testing.T) {
+	// The OR of the low parts is at most the true low-part sum, and the
+	// generated carry-in is at most the true carry, so LOA <= exact sum
+	// plus the carry correction; check the documented error bound 2^k.
+	for a := uint32(0); a < 256; a++ {
+		for b := uint32(0); b < 256; b++ {
+			got := LOA(a, b, 8, 3)
+			exact := a + b
+			diff := int64(exact) - int64(got)
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff >= 1<<4 {
+				t.Fatalf("LOA(k=3) %d+%d = %d (exact %d), |err| >= 16", a, b, got, exact)
+			}
+		}
+	}
+}
+
+func TestLOAKClamp(t *testing.T) {
+	// k > n must not panic and must behave like k == n.
+	if got, want := LOA(200, 100, 8, 12), LOA(200, 100, 8, 8); got != want {
+		t.Fatalf("LOA clamp: %d != %d", got, want)
+	}
+}

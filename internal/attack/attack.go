@@ -1,0 +1,134 @@
+// Package attack implements the paper's ten adversarial attacks (Table I)
+// with Foolbox-compatible semantics:
+//
+//	gradient-based: FGM (l2, linf), BIM (l2, linf), PGD (l2, linf)
+//	decision-based: CR (l2), RAG (l2), RAU (l2, linf)
+//
+// Attacks perturb a correctly labelled input within a perturbation
+// budget eps measured in the attack's norm, clamping to the valid pixel
+// box [0,1]. Per the paper's threat model, attacks are always run
+// against the *accurate* model (the adversary does not know the victim's
+// inexactness); the perturbed inputs are then replayed on AxDNN victims
+// by the harness in internal/core.
+package attack
+
+import (
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Model is the minimal classifier interface the decision-based attacks
+// need.
+type Model interface {
+	Logits(x *tensor.T) []float32
+}
+
+// GradModel additionally exposes the loss gradient w.r.t. the input,
+// as required by the gradient-based attacks. internal/nn networks
+// implement it.
+type GradModel interface {
+	Model
+	LossGrad(x *tensor.T, label int) (float32, *tensor.T)
+}
+
+// Norm identifies the distance metric bounding a perturbation.
+type Norm int
+
+// Supported perturbation norms.
+const (
+	L2 Norm = iota
+	Linf
+)
+
+// String returns the paper's notation for the norm.
+func (n Norm) String() string {
+	if n == Linf {
+		return "linf"
+	}
+	return "l2"
+}
+
+// Attack crafts an adversarial example for (x, label) within budget eps.
+// Implementations must not modify x and must be safe for concurrent use
+// with distinct rng instances. Gradient-based attacks require m to be a
+// GradModel and panic otherwise (a configuration bug, not a runtime
+// condition).
+type Attack interface {
+	Name() string
+	Norm() Norm
+	Perturb(m Model, x *tensor.T, label int, eps float64, rng *rand.Rand) *tensor.T
+}
+
+// fooled reports whether m misclassifies x w.r.t. label.
+func fooled(m Model, x *tensor.T, label int) bool {
+	return tensor.ArgMax(m.Logits(x)) != label
+}
+
+// mustGrad asserts the model supports gradients.
+func mustGrad(m Model, name string) GradModel {
+	g, ok := m.(GradModel)
+	if !ok {
+		panic("attack: " + name + " requires a gradient model (accurate float DNN)")
+	}
+	return g
+}
+
+// stepL2 moves x along the L2-normalised direction d by length alpha.
+func stepL2(x, d *tensor.T, alpha float64) {
+	n := d.L2Norm()
+	if n == 0 {
+		return
+	}
+	x.AddScaled(float32(alpha/n), d)
+}
+
+// gaussianDir fills a fresh tensor with standard normal noise.
+func gaussianDir(shape []int, rng *rand.Rand) *tensor.T {
+	d := tensor.New(shape...)
+	for i := range d.Data {
+		d.Data[i] = float32(rng.NormFloat64())
+	}
+	return d
+}
+
+// uniformDir fills a fresh tensor with uniform noise in [-1, 1].
+func uniformDir(shape []int, rng *rand.Rand) *tensor.T {
+	d := tensor.New(shape...)
+	for i := range d.Data {
+		d.Data[i] = float32(rng.Float64()*2 - 1)
+	}
+	return d
+}
+
+// project applies the norm-appropriate projection of adv into the
+// eps-ball around x.
+func project(norm Norm, adv, x *tensor.T, eps float64) {
+	if norm == Linf {
+		tensor.ProjectLinf(adv, x, eps)
+	} else {
+		tensor.ProjectL2(adv, x, eps)
+	}
+}
+
+// All returns the paper's full ten-attack suite in Table I order.
+func All() []Attack {
+	return []Attack{
+		NewFGM(L2), NewFGM(Linf),
+		NewBIM(L2), NewBIM(Linf),
+		NewPGD(L2), NewPGD(Linf),
+		NewCR(),
+		NewRAG(),
+		NewRAU(L2), NewRAU(Linf),
+	}
+}
+
+// ByName returns the attack whose Name matches, or nil.
+func ByName(name string) Attack {
+	for _, a := range All() {
+		if a.Name() == name {
+			return a
+		}
+	}
+	return nil
+}

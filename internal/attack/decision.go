@@ -1,0 +1,104 @@
+package attack
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// CR is the Contrast Reduction attack (Foolbox
+// L2ContrastReductionAttack): it blends the image toward the mid-gray
+// target 0.5, moving along that fixed direction until the l2 budget is
+// spent (or the image is fully gray). It needs no model queries.
+//
+// For AxDNNs this attack is the interesting one: pulling pixels toward
+// mid-range codes concentrates multiplier operands in the region where
+// input-dependent approximation error peaks (see internal/axmult's
+// Mitchell design), which is how the paper's Fig. 6a collapse arises.
+type CR struct{}
+
+// NewCR returns the contrast-reduction attack.
+func NewCR() *CR { return &CR{} }
+
+// Name implements Attack.
+func (a *CR) Name() string { return "CR-l2" }
+
+// Norm implements Attack.
+func (a *CR) Norm() Norm { return L2 }
+
+// Perturb implements Attack.
+func (a *CR) Perturb(_ Model, x *tensor.T, _ int, eps float64, _ *rand.Rand) *tensor.T {
+	adv := x.Clone()
+	d := tensor.New(x.Shape...)
+	for i, v := range x.Data {
+		d.Data[i] = 0.5 - v
+	}
+	n := d.L2Norm()
+	if n == 0 {
+		return adv
+	}
+	t := eps / n
+	if t > 1 {
+		t = 1 // fully gray; cannot move further along this direction
+	}
+	adv.AddScaled(float32(t), d)
+	adv.Clamp(0, 1)
+	return adv
+}
+
+// noiseAttack implements the repeated additive noise family: sample a
+// noise direction, scale it to the eps budget, and keep the first
+// sample that fools the source model (Foolbox's Repeated* attacks).
+// If no sample fools the model the last one is returned — the budget
+// is spent either way, matching the robustness protocol.
+type noiseAttack struct {
+	name    string
+	norm    Norm
+	repeats int
+	sample  func(shape []int, rng *rand.Rand) *tensor.T
+}
+
+// NewRAG returns the Repeated Additive Gaussian noise attack (l2).
+func NewRAG() Attack {
+	return &noiseAttack{name: "RAG-l2", norm: L2, repeats: 20, sample: gaussianDir}
+}
+
+// NewRAU returns the Repeated Additive Uniform noise attack for the
+// given norm (the paper uses both the l2 and linf variants).
+func NewRAU(n Norm) Attack {
+	return &noiseAttack{name: fmt.Sprintf("RAU-%s", n), norm: n, repeats: 20, sample: uniformDir}
+}
+
+// Name implements Attack.
+func (a *noiseAttack) Name() string { return a.name }
+
+// Norm implements Attack.
+func (a *noiseAttack) Norm() Norm { return a.norm }
+
+// Perturb implements Attack.
+func (a *noiseAttack) Perturb(m Model, x *tensor.T, label int, eps float64, rng *rand.Rand) *tensor.T {
+	if eps == 0 {
+		return x.Clone()
+	}
+	var last *tensor.T
+	for r := 0; r < a.repeats; r++ {
+		d := a.sample(x.Shape, rng)
+		adv := x.Clone()
+		if a.norm == Linf {
+			// Scale the direction to have linf norm exactly eps.
+			mx := d.LinfNorm()
+			if mx > 0 {
+				adv.AddScaled(float32(eps/mx), d)
+			}
+		} else {
+			stepL2(adv, d, eps)
+		}
+		adv.Clamp(0, 1)
+		if fooled(m, adv, label) {
+			return adv
+		}
+		last = adv
+	}
+	return last
+}

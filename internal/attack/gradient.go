@@ -1,0 +1,106 @@
+package attack
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// FGM is the Fast Gradient Method: a single step of size eps along the
+// loss gradient — the sign of the gradient for linf (FGSM), the
+// L2-normalised gradient for l2.
+type FGM struct{ norm Norm }
+
+// NewFGM returns an FGM attack bounded by the given norm.
+func NewFGM(n Norm) *FGM { return &FGM{norm: n} }
+
+// Name implements Attack.
+func (a *FGM) Name() string { return fmt.Sprintf("FGM-%s", a.norm) }
+
+// Norm implements Attack.
+func (a *FGM) Norm() Norm { return a.norm }
+
+// Perturb implements Attack.
+func (a *FGM) Perturb(m Model, x *tensor.T, label int, eps float64, _ *rand.Rand) *tensor.T {
+	g := mustGrad(m, a.Name())
+	if eps == 0 {
+		return x.Clone()
+	}
+	_, grad := g.LossGrad(x, label)
+	adv := x.Clone()
+	if a.norm == Linf {
+		grad.Sign()
+		adv.AddScaled(float32(eps), grad)
+	} else {
+		stepL2(adv, grad, eps)
+	}
+	adv.Clamp(0, 1)
+	return adv
+}
+
+// BIM is the Basic Iterative Method (iterative FGSM): repeated small
+// gradient steps, each followed by projection into the eps-ball and the
+// valid pixel box. Defaults follow Foolbox: 10 iterations with a
+// relative step size of 0.2.
+type BIM struct {
+	norm    Norm
+	Steps   int
+	RelStep float64
+	// randomStart enables the PGD variant.
+	randomStart bool
+	name        string
+}
+
+// NewBIM returns a BIM attack bounded by the given norm.
+func NewBIM(n Norm) *BIM {
+	return &BIM{norm: n, Steps: 10, RelStep: 0.2, name: "BIM"}
+}
+
+// NewPGD returns Projected Gradient Descent: BIM with a random start
+// inside the eps-ball. Foolbox defaults: 40 iterations, relative step
+// 0.025; we keep 20/0.05 for wall-clock parity with the LUT victims —
+// at these budgets the attack is already saturated.
+func NewPGD(n Norm) *BIM {
+	return &BIM{norm: n, Steps: 20, RelStep: 0.05, randomStart: true, name: "PGD"}
+}
+
+// Name implements Attack.
+func (a *BIM) Name() string { return fmt.Sprintf("%s-%s", a.name, a.norm) }
+
+// Norm implements Attack.
+func (a *BIM) Norm() Norm { return a.norm }
+
+// Perturb implements Attack.
+func (a *BIM) Perturb(m Model, x *tensor.T, label int, eps float64, rng *rand.Rand) *tensor.T {
+	g := mustGrad(m, a.Name())
+	if eps == 0 {
+		return x.Clone()
+	}
+	adv := x.Clone()
+	if a.randomStart {
+		if a.norm == Linf {
+			for i := range adv.Data {
+				adv.Data[i] += float32((rng.Float64()*2 - 1) * eps)
+			}
+		} else {
+			d := gaussianDir(x.Shape, rng)
+			stepL2(adv, d, rng.Float64()*eps)
+		}
+		project(a.norm, adv, x, eps)
+		adv.Clamp(0, 1)
+	}
+	alpha := a.RelStep * eps
+	for s := 0; s < a.Steps; s++ {
+		_, grad := g.LossGrad(adv, label)
+		if a.norm == Linf {
+			grad.Sign()
+			adv.AddScaled(float32(alpha), grad)
+		} else {
+			stepL2(adv, grad, alpha)
+		}
+		project(a.norm, adv, x, eps)
+		adv.Clamp(0, 1)
+	}
+	return adv
+}

@@ -1,0 +1,82 @@
+package axmult
+
+import "repro/internal/adder"
+
+// ArrayMult is an 8x8 unsigned array multiplier assembled from 1-bit
+// adder cells. Partial products are reduced column by column with the
+// configured cell standing in for every adder in the ApproxCols
+// least-significant columns, and the exact cell above — the structure
+// used by "defensive approximation" (Guesmi et al.) where exact mirror
+// adders are swapped for approximate ones in the low part of the array.
+//
+// With Cell == adder.Exact or ApproxCols == 0 the design is exact; the
+// package tests verify this against a*b over the full input space.
+type ArrayMult struct {
+	ID         string
+	Cell       adder.Cell
+	ApproxCols uint
+}
+
+// Name implements Multiplier.
+func (m ArrayMult) Name() string { return m.ID }
+
+// Mul implements Multiplier by carry-save reduction of the partial
+// product matrix using 1-bit cells.
+func (m ArrayMult) Mul(a, b uint8) uint16 {
+	// bits[c] holds the unreduced bits of column c.
+	var bitcols [17][]uint32
+	for i := uint(0); i < 8; i++ {
+		ai := uint32(a>>i) & 1
+		if ai == 0 {
+			continue
+		}
+		for j := uint(0); j < 8; j++ {
+			bj := uint32(b>>j) & 1
+			if bj == 0 {
+				continue
+			}
+			bitcols[i+j] = append(bitcols[i+j], 1)
+		}
+	}
+	cell := m.Cell
+	if cell == nil {
+		cell = adder.Exact
+	}
+	var out uint32
+	for c := 0; c < 16; c++ {
+		use := adder.Exact
+		if uint(c) < m.ApproxCols {
+			use = cell
+		}
+		bits := bitcols[c]
+		// Reduce the column to a single bit, pushing carries to c+1.
+		for len(bits) > 1 {
+			if len(bits) >= 3 {
+				s, co := use(bits[0], bits[1], bits[2])
+				bits = append(bits[3:], s&1)
+				if co&1 == 1 {
+					bitcols[c+1] = append(bitcols[c+1], 1)
+				}
+			} else { // half adder
+				s, co := use(bits[0], bits[1], 0)
+				bits = []uint32{s & 1}
+				if co&1 == 1 {
+					bitcols[c+1] = append(bitcols[c+1], 1)
+				}
+			}
+		}
+		if len(bits) == 1 && bits[0]&1 == 1 {
+			out |= 1 << uint(c)
+		}
+	}
+	// Column 16 can only receive carries if approximation inflated the
+	// count; exact reduction never produces one. Saturate.
+	if len(bitcols[16]) > 0 {
+		for _, bb := range bitcols[16] {
+			if bb&1 == 1 {
+				return 0xFFFF
+			}
+		}
+	}
+	return uint16(out)
+}

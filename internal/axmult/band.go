@@ -1,0 +1,73 @@
+package axmult
+
+// BandMult models an evolved multiplier whose error is concentrated in
+// a band of operand codes: operands outside [Lo, Hi) are exact, while
+// operands inside are floored to a Step-wide bucket before multiplying.
+//
+// Designs like this are common among evolved (EvoApprox-style)
+// circuits, whose error maps are irregular rather than smooth. Their
+// behavioural signature is the data-dependent masking the paper
+// describes: inputs whose code distribution avoids the band see almost
+// no error ("masked"), while a distribution shift into the band — a
+// contrast-reduction attack raising all dark pixels, or an linf
+// perturbation widening the background population — unmasks the full
+// error at once. This is the Fig. 6a / Fig. 5b JV3 mechanism.
+type BandMult struct {
+	ID     string
+	Lo, Hi uint8
+	Step   uint8
+	// ActOnly applies the band to the first operand only (the
+	// activation, by the engine's convention) — evolved designs are
+	// frequently non-commutative, and one-sided error keeps the static
+	// weight operand exact.
+	ActOnly bool
+	// Round buckets with rounding instead of flooring, making the
+	// in-band error a zero-mean sawtooth: broad (deep-layer) code
+	// distributions cancel it, while a narrow code population — e.g. an
+	// image background shifted into the band by a contrast-reduction
+	// attack — picks it up coherently. This is the masking/unmasking
+	// discontinuity the paper attributes to designs like JV3.
+	Round bool
+	// Overshoot replaces bucketing by a slope-2 segment: in-band
+	// operands read as x + (x-Lo), continuous at the low edge. A code
+	// population entering the band inflates its products coherently and
+	// drives the downstream requantizer into saturation.
+	Overshoot bool
+}
+
+// Name implements Multiplier.
+func (m BandMult) Name() string { return m.ID }
+
+// Mul implements Multiplier.
+func (m BandMult) Mul(a, b uint8) uint16 {
+	if m.ActOnly {
+		return uint16(uint32(m.bucket(a)) * uint32(b))
+	}
+	return uint16(uint32(m.bucket(a)) * uint32(m.bucket(b)))
+}
+
+func (m BandMult) bucket(x uint8) uint8 {
+	if x < m.Lo || x >= m.Hi {
+		return x
+	}
+	if m.Overshoot {
+		v := uint32(x) + uint32(x-m.Lo)
+		if v > 255 {
+			v = 255
+		}
+		return uint8(v)
+	}
+	step := uint32(m.Step)
+	if step == 0 {
+		step = uint32(m.Hi - m.Lo)
+	}
+	off := uint32(x - m.Lo)
+	if m.Round {
+		off += step / 2
+	}
+	v := uint32(m.Lo) + off/step*step
+	if v > 255 {
+		v = 255
+	}
+	return uint8(v)
+}

@@ -1,0 +1,45 @@
+package axmult
+
+// Compressor42 models a Wallace-style multiplier whose partial-product
+// reduction uses approximate 4:2 compressors in the ApproxCols
+// least-significant columns. The approximate compressor maps four ones
+// to the output pair (sum=1, carry=1) — value 3 instead of 4 — losing
+// one unit (2^c) per saturated group, the behaviour of the classic
+// transistor-pruned 4:2 compressor designs (Momeni et al.).
+type Compressor42 struct {
+	ID         string
+	ApproxCols uint
+	// Offset is a constant compensation added to every product,
+	// counteracting the compressor's systematic undershoot.
+	Offset uint16
+}
+
+// Name implements Multiplier.
+func (m Compressor42) Name() string { return m.ID }
+
+// Mul implements Multiplier.
+func (m Compressor42) Mul(a, b uint8) uint16 {
+	cols := partialProducts(a, b, nil)
+	var acc uint32
+	carry := int32(0)
+	for c := 0; c < 16; c++ {
+		n := cols[c] + carry
+		carry = 0
+		if uint(c) < m.ApproxCols {
+			// Each approximate 4:2 compression of four ones yields a sum
+			// bit in this column and a carry in the next: value 3, not 4.
+			for n >= 4 {
+				n -= 4
+				n++
+				carry++
+			}
+		}
+		acc += uint32(n) << uint(c)
+	}
+	acc += uint32(carry) << 16
+	acc += uint32(m.Offset)
+	if acc > 0xFFFF {
+		return 0xFFFF
+	}
+	return uint16(acc)
+}

@@ -1,0 +1,48 @@
+package axmult
+
+import "repro/internal/bitops"
+
+// DRUM models the Dynamic Range Unbiased Multiplier (Hashemi et al.,
+// ICCAD 2015): each operand is reduced to its K most significant bits
+// starting at the leading one, with the lowest kept bit forced to 1 to
+// unbias the truncation, then the two short mantissas are multiplied
+// exactly and shifted back. The result has near-zero mean error and a
+// relative error bounded by the mantissa width — large MAE with high
+// clean accuracy, the "JQQ-like" profile in the paper's multiplier set.
+type DRUM struct {
+	ID string
+	K  uint
+}
+
+// Name implements Multiplier.
+func (m DRUM) Name() string { return m.ID }
+
+// Mul implements Multiplier.
+func (m DRUM) Mul(a, b uint8) uint16 {
+	k := m.K
+	if k < 2 {
+		k = 2
+	}
+	ma, sa := drumTrunc(uint32(a), k)
+	mb, sb := drumTrunc(uint32(b), k)
+	p := (ma * mb) << (sa + sb)
+	if p > 0xFFFF {
+		return 0xFFFF
+	}
+	return uint16(p)
+}
+
+// drumTrunc reduces x to a k-bit mantissa with the LSB forced to one,
+// returning the mantissa and the restoring shift.
+func drumTrunc(x uint32, k uint) (mant uint32, shift uint) {
+	lo := bitops.LeadingOne(x)
+	if lo < 0 {
+		return 0, 0
+	}
+	if uint(lo) < k {
+		return x, 0 // short operand: exact
+	}
+	shift = uint(lo) + 1 - k
+	mant = (x >> shift) | 1 // force LSB to 1: unbiased truncation
+	return mant, shift
+}

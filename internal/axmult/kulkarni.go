@@ -1,0 +1,60 @@
+package axmult
+
+// kulkarni2 is the underdesigned 2x2 multiplier of Kulkarni et al.
+// (VLSI Design 2011): exact for all inputs except 3*3, which yields 7
+// (0b0111) instead of 9 (0b1001), saving the fourth output bit.
+func kulkarni2(a, b uint32) uint32 {
+	if a == 3 && b == 3 {
+		return 7
+	}
+	return a * b
+}
+
+// kulkarni4 builds a 4x4 multiplier from four approximate 2x2 blocks
+// with exact recombination adders.
+func kulkarni4(a, b uint32) uint32 {
+	al, ah := a&3, a>>2
+	bl, bh := b&3, b>>2
+	return kulkarni2(ah, bh)<<4 + (kulkarni2(ah, bl)+kulkarni2(al, bh))<<2 + kulkarni2(al, bl)
+}
+
+// Kulkarni is the fully recursive 8x8 underdesigned multiplier: every
+// 2x2 block is approximate.
+type Kulkarni struct {
+	ID string
+}
+
+// Name implements Multiplier.
+func (m Kulkarni) Name() string { return m.ID }
+
+// Mul implements Multiplier.
+func (m Kulkarni) Mul(a, b uint8) uint16 {
+	al, ah := uint32(a)&15, uint32(a)>>4
+	bl, bh := uint32(b)&15, uint32(b)>>4
+	p := kulkarni4(ah, bh)<<8 + (kulkarni4(ah, bl)+kulkarni4(al, bh))<<4 + kulkarni4(al, bl)
+	if p > 0xFFFF {
+		return 0xFFFF
+	}
+	return uint16(p)
+}
+
+// KulkarniLow applies the underdesigned 2x2 blocks only to the low
+// nibble cross term (al*bl); the three high-significance block products
+// are exact. A mild, low-bias design.
+type KulkarniLow struct {
+	ID string
+}
+
+// Name implements Multiplier.
+func (m KulkarniLow) Name() string { return m.ID }
+
+// Mul implements Multiplier.
+func (m KulkarniLow) Mul(a, b uint8) uint16 {
+	al, ah := uint32(a)&15, uint32(a)>>4
+	bl, bh := uint32(b)&15, uint32(b)>>4
+	p := (ah*bh)<<8 + (ah*bl+al*bh)<<4 + kulkarni4(al, bl)
+	if p > 0xFFFF {
+		return 0xFFFF
+	}
+	return uint16(p)
+}

@@ -1,0 +1,76 @@
+package axmult
+
+import "repro/internal/bitops"
+
+// Mitchell is the classic Mitchell logarithmic multiplier: both operands
+// are converted to approximate base-2 logarithms (characteristic = index
+// of the leading one, mantissa = remaining bits read as a linear
+// fraction), the logs are added, and the antilog is approximated
+// piecewise-linearly.
+//
+// Its error is always non-positive (the approximate product never
+// exceeds the exact one) and peaks mid-way between powers of two — the
+// input-dependent "mid-code" error profile that makes contrast-reduction
+// attacks interesting for AxDNNs: pulling pixels toward mid-range codes
+// pushes operands into the multiplier's worst region.
+type Mitchell struct {
+	ID string
+}
+
+// Name implements Multiplier.
+func (m Mitchell) Name() string { return m.ID }
+
+// Mul implements Multiplier.
+func (m Mitchell) Mul(a, b uint8) uint16 {
+	return mitchell(a, b, 16)
+}
+
+// mitchell computes the Mitchell product keeping mbits fractional bits
+// of each operand's log mantissa (16 = full precision for 8-bit
+// operands).
+func mitchell(a, b uint8, mbits uint) uint16 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	k1 := uint(bitops.LeadingOne(uint32(a)))
+	k2 := uint(bitops.LeadingOne(uint32(b)))
+	// Mantissas as Q16 fractions in [0, 1).
+	f1 := (uint32(a) - 1<<k1) << 16 >> k1
+	f2 := (uint32(b) - 1<<k2) << 16 >> k2
+	if mbits < 16 {
+		drop := 16 - mbits
+		f1 = f1 >> drop << drop
+		f2 = f2 >> drop << drop
+	}
+	l := k1 + k2
+	s := f1 + f2
+	var p uint32
+	if s < 1<<16 {
+		// 2^l * (1 + s)
+		p = ((1 << 16) + s) << l >> 16
+	} else {
+		// 2^(l+1) * s  (s in [1,2), interpreted as 1 + (s-1))
+		p = s << (l + 1) >> 16
+	}
+	if p > 0xFFFF {
+		return 0xFFFF
+	}
+	return uint16(p)
+}
+
+// MitchellTrunc is a Mitchell multiplier whose log mantissas are
+// truncated to MBits fractional bits before the antilog stage — the
+// cheap "truncated logarithmic multiplier" variant. Smaller MBits means
+// larger, still always-non-positive error.
+type MitchellTrunc struct {
+	ID    string
+	MBits uint
+}
+
+// Name implements Multiplier.
+func (m MitchellTrunc) Name() string { return m.ID }
+
+// Mul implements Multiplier.
+func (m MitchellTrunc) Mul(a, b uint8) uint16 {
+	return mitchell(a, b, m.MBits)
+}

@@ -1,0 +1,35 @@
+package axmult
+
+import "repro/internal/bitops"
+
+// LowOR splits each operand into a high part and a K-bit low part and
+// approximates the low-low cross term with a bitwise OR (the
+// lower-part-OR-adder idea applied to a multiplier): the three exact
+// cross terms ah*bh, ah*bl and al*bh are kept, while al*bl — the term
+// with the smallest dynamic range — collapses to (al | bl).
+type LowOR struct {
+	ID string
+	K  uint
+}
+
+// Name implements Multiplier.
+func (m LowOR) Name() string { return m.ID }
+
+// Mul implements Multiplier.
+func (m LowOR) Mul(a, b uint8) uint16 {
+	k := m.K
+	if k == 0 {
+		return uint16(a) * uint16(b)
+	}
+	if k > 8 {
+		k = 8
+	}
+	mask := bitops.Mask(k)
+	al, bl := uint32(a)&mask, uint32(b)&mask
+	ah, bh := uint32(a)>>k, uint32(b)>>k
+	p := (ah*bh)<<(2*k) + (ah*bl+al*bh)<<k + (al | bl)
+	if p > 0xFFFF {
+		return 0xFFFF
+	}
+	return uint16(p)
+}

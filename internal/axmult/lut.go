@@ -1,0 +1,32 @@
+package axmult
+
+// LUT is a multiplier compiled to an exhaustive 256x256 lookup table —
+// the representation TFApprox-style accelerator simulators consume.
+// Index layout: table[a<<8 | b].
+type LUT struct {
+	id    string
+	table []uint16
+}
+
+// Compile evaluates m over the full 8x8 input space.
+func Compile(m Multiplier) *LUT {
+	t := make([]uint16, 1<<16)
+	for a := 0; a < 256; a++ {
+		for b := 0; b < 256; b++ {
+			t[a<<8|b] = m.Mul(uint8(a), uint8(b))
+		}
+	}
+	return &LUT{id: m.Name(), table: t}
+}
+
+// Name implements Multiplier.
+func (l *LUT) Name() string { return l.id }
+
+// Mul implements Multiplier.
+func (l *LUT) Mul(a, b uint8) uint16 {
+	return l.table[uint32(a)<<8|uint32(b)]
+}
+
+// Table exposes the raw table for hot loops (length 65536, index
+// a<<8|b). Callers must not modify it.
+func (l *LUT) Table() []uint16 { return l.table }

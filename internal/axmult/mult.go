@@ -1,0 +1,85 @@
+// Package axmult provides behavioural models of 8x8 -> 16-bit unsigned
+// approximate multipliers in the style of the EvoApprox8b library
+// (Mrazek et al., DATE 2017), plus exhaustive-LUT compilation as used by
+// TFApprox-style accelerator simulators.
+//
+// The paper reproduced here consumes multipliers purely as input->output
+// maps (it simulates AxDNN inference through LUTs), so each design below
+// is a functional model of a known approximate-multiplier family:
+// truncation, broken arrays, partial-product perforation, lower-part-OR,
+// Mitchell logarithmic, DRUM dynamic-range, approximate compressors, and
+// the recursive Kulkarni 2x2 block. The registry in registry.go binds
+// configured instances to the EvoApprox names the paper uses.
+package axmult
+
+import "fmt"
+
+// Multiplier is a behavioural 8x8 -> 16-bit unsigned combinational
+// multiplier. Implementations must be pure functions of their inputs.
+type Multiplier interface {
+	// Name returns the design's registered name, e.g. "mul8u_17KS".
+	Name() string
+	// Mul returns the (possibly approximate) product of a and b.
+	Mul(a, b uint8) uint16
+}
+
+// Func adapts a plain function to the Multiplier interface.
+type Func struct {
+	ID string
+	F  func(a, b uint8) uint16
+}
+
+// Name implements Multiplier.
+func (f Func) Name() string { return f.ID }
+
+// Mul implements Multiplier.
+func (f Func) Mul(a, b uint8) uint16 { return f.F(a, b) }
+
+// Exact is the exact 8x8 unsigned multiplier.
+var Exact Multiplier = Func{ID: "exact", F: func(a, b uint8) uint16 {
+	return uint16(a) * uint16(b)
+}}
+
+// partialProducts fills pp[c] with the count-free list of partial-product
+// bits of column c (c = i+j for a_i * b_j). keep decides whether the
+// partial product at (row i, col j) participates; a nil keep keeps all.
+// It returns per-column bit counts in a [16]int8 and the accumulated
+// column sums in a [16]int32 (each entry = number of 1-bits in column).
+func partialProducts(a, b uint8, keep func(i, j uint) bool) (cols [16]int32) {
+	for i := uint(0); i < 8; i++ {
+		if (a>>i)&1 == 0 {
+			continue
+		}
+		for j := uint(0); j < 8; j++ {
+			if (b>>j)&1 == 0 {
+				continue
+			}
+			if keep != nil && !keep(i, j) {
+				continue
+			}
+			cols[i+j]++
+		}
+	}
+	return cols
+}
+
+// sumColumns adds up column counts exactly: result = sum cols[c] * 2^c,
+// saturated to 16 bits.
+func sumColumns(cols [16]int32) uint16 {
+	var acc uint32
+	for c := 0; c < 16; c++ {
+		acc += uint32(cols[c]) << uint(c)
+	}
+	if acc > 0xFFFF {
+		return 0xFFFF
+	}
+	return uint16(acc)
+}
+
+// MustMul panics if m is nil; convenience for registry consumers.
+func MustMul(m Multiplier, a, b uint8) uint16 {
+	if m == nil {
+		panic(fmt.Sprintf("axmult: nil multiplier for %d*%d", a, b))
+	}
+	return m.Mul(a, b)
+}

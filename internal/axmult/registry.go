@@ -1,0 +1,290 @@
+package axmult
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/adder"
+)
+
+// The registry binds EvoApprox8b-style names (the ones the paper's
+// figures use) to configured behavioural designs. The mapping is a
+// documented substitution: see DESIGN.md. Error metrics for every entry
+// are reported by cmd/axmultinfo and pinned by the package tests.
+var (
+	regMu   sync.Mutex
+	regs    = map[string]func() Multiplier{}
+	lutOnce = map[string]*LUT{}
+)
+
+// Register adds a named multiplier constructor. It panics on duplicate
+// names; intended for package init and tests.
+func Register(name string, ctor func() Multiplier) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	key := canon(name)
+	if _, dup := regs[key]; dup {
+		panic("axmult: duplicate registration of " + name)
+	}
+	regs[key] = ctor
+}
+
+func canon(name string) string {
+	n := strings.ToLower(strings.TrimSpace(name))
+	n = strings.TrimPrefix(n, "mul8u_")
+	return n
+}
+
+// New instantiates the behavioural circuit registered under name.
+// Names are case-insensitive and the "mul8u_" prefix is optional.
+func New(name string) (Multiplier, error) {
+	regMu.Lock()
+	ctor, ok := regs[canon(name)]
+	regMu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("axmult: unknown multiplier %q", name)
+	}
+	return ctor(), nil
+}
+
+// Lookup returns the compiled LUT for name, building and caching it on
+// first use. Safe for concurrent use.
+func Lookup(name string) (*LUT, error) {
+	key := canon(name)
+	regMu.Lock()
+	if l, ok := lutOnce[key]; ok {
+		regMu.Unlock()
+		return l, nil
+	}
+	ctor, ok := regs[key]
+	regMu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("axmult: unknown multiplier %q", name)
+	}
+	l := Compile(ctor())
+	regMu.Lock()
+	lutOnce[key] = l
+	regMu.Unlock()
+	return l, nil
+}
+
+// MustLookup is Lookup that panics on unknown names; for examples,
+// benches, and table-driven experiment code where the name set is static.
+func MustLookup(name string) *LUT {
+	l, err := Lookup(name)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// Names returns all registered multiplier names, sorted.
+func Names() []string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := make([]string, 0, len(regs))
+	for k := range regs {
+		out = append(out, "mul8u_"+strings.ToUpper(k))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MNISTSet is the multiplier set of the paper's Figs. 4-6 (LeNet-5 on
+// MNIST), in the paper's M1..M9 order. M1 is the accurate design.
+func MNISTSet() []string {
+	return []string{
+		"mul8u_1JFF", "mul8u_96D", "mul8u_12N4", "mul8u_17KS", "mul8u_1AGV",
+		"mul8u_FTA", "mul8u_JQQ", "mul8u_L40", "mul8u_JV3",
+	}
+}
+
+// CIFARSet is the multiplier set of the paper's Fig. 7 (AlexNet on
+// CIFAR-10), in the paper's M1..M8 order. M1 is the accurate design.
+func CIFARSet() []string {
+	return []string{
+		"mul8u_1JFF", "mul8u_2P7", "mul8u_KEM", "mul8u_150Q",
+		"mul8u_14VP", "mul8u_QJD", "mul8u_1446", "mul8u_GS2",
+	}
+}
+
+func init() {
+	// --- MNIST set (Figs. 4-6): M1..M9 ---
+
+	// M1: the accurate design, assembled gate-by-gate from exact full
+	// adders (verified exact by tests).
+	Register("mul8u_1JFF", func() Multiplier {
+		return ArrayMult{ID: "mul8u_1JFF", Cell: adder.Exact}
+	})
+	// M2: fixed-width truncation of 3 columns with compensation; tiny,
+	// near-zero-mean error.
+	Register("mul8u_96D", func() Multiplier {
+		return TruncMult{ID: "mul8u_96D", Cut: 3, Compensate: true}
+	})
+	// M3: lower-part-OR cross term, K=3; tiny error.
+	Register("mul8u_12N4", func() Multiplier {
+		return LowOR{ID: "mul8u_12N4", K: 3}
+	})
+	// M4: six-column truncation with static compensation — the
+	// "moderate error, high resilience" rung of the ladder (clean
+	// accuracy one to two points under the accurate design, like 17KS).
+	Register("mul8u_17KS", func() Multiplier {
+		return TruncMult{ID: "mul8u_17KS", Cut: 6, Compensate: true}
+	})
+	// M5: perforation of partial-product row 0 with compensation;
+	// moderate variance, near-zero bias.
+	Register("mul8u_1AGV", func() Multiplier {
+		return Perforated{ID: "mul8u_1AGV", Rows: 0b0000_0001, Compensate: true}
+	})
+	// M6: truncated logarithmic multiplier (5 mantissa bits) — the
+	// low-90s clean-accuracy rung the paper reports for FTA.
+	Register("mul8u_FTA", func() Multiplier {
+		return MitchellTrunc{ID: "mul8u_FTA", MBits: 5}
+	})
+	// M7: DRUM with 4-bit mantissas; large but unbiased error
+	// (the paper quotes MAE 1.12% yet high clean accuracy for JQQ).
+	Register("mul8u_JQQ", func() Multiplier {
+		return DRUM{ID: "mul8u_JQQ", K: 4}
+	})
+	// M8: perforation of partial-product row 1 (compensated) — the
+	// highest-variance design of the set and, as in the paper, the
+	// lowest clean accuracy (L40).
+	Register("mul8u_L40", func() Multiplier {
+		return Perforated{ID: "mul8u_L40", Rows: 0b0000_0010, Compensate: true}
+	})
+	// M9: Mitchell logarithmic; always-undershooting, mid-code-peaked
+	// error (drives the CR-attack collapse of Fig. 6a).
+	Register("mul8u_JV3", func() Multiplier {
+		return Mitchell{ID: "mul8u_JV3"}
+	})
+
+	// Fig. 1 motivational multiplier: array with approximate mirror
+	// adders in the low columns (the Guesmi et al. construction).
+	Register("mul8u_L1G", func() Multiplier {
+		return ArrayMult{ID: "mul8u_L1G", Cell: adder.AMA1, ApproxCols: 5}
+	})
+
+	// --- CIFAR set (Fig. 7): M2..M8 (M1 = 1JFF above) ---
+	// All chosen for high error resilience, as the paper requires
+	// (designs below 75% CIFAR accuracy were discarded); QJD is the
+	// set's weakest, as in the paper's Fig. 7 baseline row.
+	Register("mul8u_2P7", func() Multiplier {
+		return DRUM{ID: "mul8u_2P7", K: 6}
+	})
+	Register("mul8u_KEM", func() Multiplier {
+		return LowOR{ID: "mul8u_KEM", K: 4}
+	})
+	Register("mul8u_150Q", func() Multiplier {
+		return Compressor42{ID: "mul8u_150Q", ApproxCols: 12}
+	})
+	Register("mul8u_14VP", func() Multiplier {
+		return Compressor42{ID: "mul8u_14VP", ApproxCols: 6}
+	})
+	Register("mul8u_QJD", func() Multiplier {
+		return Compressor42{ID: "mul8u_QJD", ApproxCols: 16}
+	})
+	Register("mul8u_1446", func() Multiplier {
+		return DRUM{ID: "mul8u_1446", K: 5}
+	})
+	Register("mul8u_GS2", func() Multiplier {
+		return KulkarniLow{ID: "mul8u_GS2"}
+	})
+
+	// Extra registered designs available to ablations and tests.
+	Register("mul8u_KUL8", func() Multiplier {
+		return Kulkarni{ID: "mul8u_KUL8"}
+	})
+	Register("mul8u_AMA5C6", func() Multiplier {
+		return ArrayMult{ID: "mul8u_AMA5C6", Cell: adder.AMA5, ApproxCols: 6}
+	})
+
+	// Generic design-space sweep, named by family and parameter. These
+	// power the ablation benches and let users explore the
+	// accuracy/error trade-off beyond the paper's sets.
+	for k := uint(2); k <= 7; k++ {
+		k := k
+		Register(fmt.Sprintf("lowor%d", k), func() Multiplier {
+			return LowOR{ID: fmt.Sprintf("lowor%d", k), K: k}
+		})
+		Register(fmt.Sprintf("drum%d", k), func() Multiplier {
+			return DRUM{ID: fmt.Sprintf("drum%d", k), K: k}
+		})
+		Register(fmt.Sprintf("mt%d", k), func() Multiplier {
+			return MitchellTrunc{ID: fmt.Sprintf("mt%d", k), MBits: k}
+		})
+		Register(fmt.Sprintf("trunc%dc", k), func() Multiplier {
+			return TruncMult{ID: fmt.Sprintf("trunc%dc", k), Cut: k, Compensate: true}
+		})
+		Register(fmt.Sprintf("trunc%d", k), func() Multiplier {
+			return TruncMult{ID: fmt.Sprintf("trunc%d", k), Cut: k}
+		})
+	}
+	for _, rows := range []uint8{0b1, 0b10, 0b100, 0b11} {
+		rows := rows
+		Register(fmt.Sprintf("perf%dc", rows), func() Multiplier {
+			return Perforated{ID: fmt.Sprintf("perf%dc", rows), Rows: rows, Compensate: true}
+		})
+	}
+	for _, cols := range []uint{6, 9, 12, 16} {
+		cols := cols
+		Register(fmt.Sprintf("cmp%d", cols), func() Multiplier {
+			return Compressor42{ID: fmt.Sprintf("cmp%d", cols), ApproxCols: cols}
+		})
+	}
+	for _, bound := range []uint8{8, 16, 24, 32, 48} {
+		for _, mb := range []uint{2, 3, 4} {
+			bound, mb := bound, mb
+			name := fmt.Sprintf("seg%dm%d", bound, mb)
+			Register(name, func() Multiplier {
+				return SegMult{ID: name, Boundary: bound, MBits: mb}
+			})
+		}
+	}
+	for _, band := range []struct{ lo, hi, step uint8 }{
+		{16, 48, 32}, {16, 48, 16}, {16, 64, 24}, {24, 56, 32}, {8, 40, 32}, {16, 40, 24},
+		{16, 32, 16}, {16, 36, 20}, {20, 40, 20}, {12, 32, 20},
+	} {
+		band := band
+		name := fmt.Sprintf("band%d_%ds%d", band.lo, band.hi, band.step)
+		Register(name, func() Multiplier {
+			return BandMult{ID: name, Lo: band.lo, Hi: band.hi, Step: band.step}
+		})
+		aname := name + "a"
+		Register(aname, func() Multiplier {
+			return BandMult{ID: aname, Lo: band.lo, Hi: band.hi, Step: band.step, ActOnly: true}
+		})
+	}
+	for _, band := range []struct{ lo, hi, step uint8 }{
+		{32, 64, 16}, {32, 96, 32}, {24, 72, 24}, {32, 64, 32}, {24, 88, 32}, {16, 80, 32},
+	} {
+		band := band
+		name := fmt.Sprintf("rband%d_%ds%d", band.lo, band.hi, band.step)
+		Register(name, func() Multiplier {
+			return BandMult{ID: name, Lo: band.lo, Hi: band.hi, Step: band.step, ActOnly: true, Round: true}
+		})
+	}
+	for _, band := range []struct{ lo, hi uint8 }{
+		{24, 88}, {32, 96}, {16, 64}, {24, 64}, {32, 128},
+	} {
+		band := band
+		name := fmt.Sprintf("oband%d_%d", band.lo, band.hi)
+		Register(name, func() Multiplier {
+			return BandMult{ID: name, Lo: band.lo, Hi: band.hi, ActOnly: true, Overshoot: true}
+		})
+	}
+	for _, cells := range []struct {
+		name string
+		cell adder.Cell
+	}{{"ama1", adder.AMA1}, {"ama2", adder.AMA2}, {"ama4", adder.AMA4}} {
+		cells := cells
+		for _, cols := range []uint{4, 6, 8} {
+			cols := cols
+			name := fmt.Sprintf("%sc%d", cells.name, cols)
+			Register(name, func() Multiplier {
+				return ArrayMult{ID: name, Cell: cells.cell, ApproxCols: cols}
+			})
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package axmult
+
+import "repro/internal/bitops"
+
+// SegMult is a static-segment multiplier: operands below Boundary are
+// multiplied exactly (the low segment covers them), while operands at
+// or above it are floored to an MBits-wide mantissa anchored at the
+// leading one before multiplying — a coarse, always-undershooting
+// approximation of the high segment.
+//
+// The design's signature is a *code-region cliff*: inputs whose codes
+// sit below the boundary see zero error, and a global shift of the
+// input distribution across the boundary (exactly what a contrast
+// reduction attack does to the many background pixels of an image)
+// unmasks the full truncation error at once. This models the
+// data-dependent masking/unmasking of approximation errors the paper
+// identifies as the cause of the Fig. 6a collapse.
+type SegMult struct {
+	ID       string
+	Boundary uint8
+	MBits    uint
+}
+
+// Name implements Multiplier.
+func (m SegMult) Name() string { return m.ID }
+
+// Mul implements Multiplier.
+func (m SegMult) Mul(a, b uint8) uint16 {
+	return uint16(m.seg(a) * m.seg(b))
+}
+
+// seg returns the operand itself in the exact region, or its floored
+// MBits-bit mantissa (shifted back into place) above the boundary.
+func (m SegMult) seg(x uint8) uint32 {
+	v := uint32(x)
+	if x < m.Boundary {
+		return v
+	}
+	lo := uint(bitops.LeadingOne(v))
+	mb := m.MBits
+	if mb < 1 {
+		mb = 1
+	}
+	if lo+1 <= mb {
+		return v
+	}
+	shift := lo + 1 - mb
+	return v >> shift << shift
+}

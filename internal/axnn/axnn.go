@@ -1,0 +1,254 @@
+// Package axnn is the AxDNN accelerator simulator: it compiles a
+// trained float network (internal/nn) into an integer inference engine
+// with affine-quantized activations and weights, int32 accumulators,
+// and a pluggable 8x8 multiplier LUT for the convolution layers — the
+// Go equivalent of running TFApprox with an EvoApprox multiplier.
+//
+// Semantics follow the paper's methodology (Fig. 3):
+//
+//   - Weights and activations are fixed-point quantized (default 8 bit,
+//     configurable Qlevel).
+//   - Only convolution products go through the approximate multiplier
+//     (Section IV-A replaces multipliers in the conv layers); dense
+//     layers use exact int32 MACs unless Options.ApproxDense is set
+//     (needed for the FFNN of Fig. 1, which has no conv layers).
+//   - Zero-point cross terms are corrected exactly, so with the exact
+//     multiplier the engine reproduces standard uint8 post-training
+//     quantization.
+//
+// Networks produced by Compile are immutable after SetMultiplier and
+// safe for concurrent Logits calls.
+package axnn
+
+import (
+	"fmt"
+
+	"repro/internal/axmult"
+	"repro/internal/nn"
+	"repro/internal/quant"
+	"repro/internal/tensor"
+)
+
+// Options configures compilation.
+type Options struct {
+	// Bits is the activation/weight code width (the paper's Qlevel).
+	// 0 means 8.
+	Bits uint
+	// ApproxDense routes dense-layer products through the approximate
+	// multiplier too (used for the FFNN study and ablations).
+	ApproxDense bool
+	// NoZeroPointCorrection drops the exact zero-point cross terms in
+	// the conv accumulation. Only for the ablation bench: it breaks the
+	// affine semantics and shows why TFApprox-style engines must carry
+	// the correction adders.
+	NoZeroPointCorrection bool
+	// Multiplier is the initial multiplier; nil means the exact design.
+	Multiplier *axmult.LUT
+}
+
+// Network is a compiled quantized network.
+type Network struct {
+	Name        string
+	layers      []qlayer
+	mul         []uint16 // active LUT table, index a<<8|w
+	mulID       string
+	inQP        quant.Params
+	approxDense bool
+	noZP        bool
+}
+
+type qtensor struct {
+	shape []int
+	data  []uint8
+	qp    quant.Params
+}
+
+// qlayer either produces another quantized tensor or, for the final
+// stage, float logits.
+type qlayer interface {
+	forward(net *Network, in qtensor) (qtensor, []float32)
+}
+
+// Compile quantizes a trained float network using the calibration set
+// to derive per-layer activation ranges.
+func Compile(n *nn.Network, calib []*tensor.T, opts Options) (*Network, error) {
+	if len(calib) == 0 {
+		return nil, fmt.Errorf("axnn: empty calibration set")
+	}
+	bits := opts.Bits
+	// Per-layer output ranges over the calibration set. Activation
+	// ranges use the *average* of per-sample extrema rather than the
+	// global min/max: deep networks produce rare outlier activations
+	// that would otherwise blow up the scale and starve the common
+	// range of resolution (the standard moving-min/max calibration).
+	mins := make([]float32, len(n.Layers))
+	maxs := make([]float32, len(n.Layers))
+	var inMin, inMax float32
+	cn := n.Clone()
+	for _, x := range calib {
+		lo, hi := quant.Range(x.Data)
+		inMin += lo
+		inMax += hi
+		for i, o := range cn.ForwardTrace(x) {
+			l2, h2 := quant.Range(o.Data)
+			mins[i] += l2
+			maxs[i] += h2
+		}
+	}
+	norm := float32(len(calib))
+	inMin /= norm
+	inMax /= norm
+	for i := range mins {
+		mins[i] /= norm
+		maxs[i] /= norm
+	}
+
+	q := &Network{
+		Name:        n.Name,
+		inQP:        quant.Calibrate(inMin, inMax, bits),
+		approxDense: opts.ApproxDense,
+		noZP:        opts.NoZeroPointCorrection,
+	}
+	inQP := q.inQP
+	for i, l := range n.Layers {
+		outQP := quant.Calibrate(mins[i], maxs[i], bits)
+		last := i == len(n.Layers)-1
+		switch t := l.(type) {
+		case *nn.Conv2D:
+			q.layers = append(q.layers, newQConv(t, inQP, outQP, bits))
+		case *nn.Dense:
+			q.layers = append(q.layers, newQDense(t, inQP, outQP, bits, last))
+		case *nn.ReLU:
+			q.layers = append(q.layers, &qReLU{outQP: outQP, lut: quant.RequantLUT(inQP, outQP, func(v float32) float32 {
+				if v < 0 {
+					return 0
+				}
+				return v
+			})})
+		case *nn.AvgPool2D:
+			q.layers = append(q.layers, &qAvgPool{k: t.K, stride: poolStride(t), outQP: outQP, lut: quant.RequantLUT(inQP, outQP, nil)})
+		case *nn.Flatten:
+			q.layers = append(q.layers, &qFlatten{})
+			outQP = inQP // passthrough keeps params
+		default:
+			return nil, fmt.Errorf("axnn: unsupported layer type %T", l)
+		}
+		if _, ok := l.(*nn.Flatten); ok {
+			continue
+		}
+		inQP = outQP
+	}
+	if opts.Multiplier != nil {
+		q.SetMultiplier(opts.Multiplier)
+	} else {
+		q.SetMultiplier(axmult.MustLookup("mul8u_1JFF"))
+	}
+	return q, nil
+}
+
+func poolStride(p *nn.AvgPool2D) int {
+	if p.Stride == 0 {
+		return p.K
+	}
+	return p.Stride
+}
+
+// SetMultiplier installs the approximate multiplier used by conv (and
+// optionally dense) layers. It returns the network for chaining.
+func (q *Network) SetMultiplier(l *axmult.LUT) *Network {
+	q.mul = l.Table()
+	q.mulID = l.Name()
+	return q
+}
+
+// WithMultiplier returns a shallow copy of the network running on the
+// given multiplier. The copy shares the (immutable) quantized layers,
+// so building one AxDNN per multiplier from a single compilation is
+// cheap — the harness uses this to fan a grid out across designs.
+func (q *Network) WithMultiplier(l *axmult.LUT) *Network {
+	c := *q
+	c.mul = l.Table()
+	c.mulID = l.Name()
+	return &c
+}
+
+// MultiplierName returns the active multiplier's name.
+func (q *Network) MultiplierName() string { return q.mulID }
+
+// Logits quantizes x and runs the integer pipeline, returning float
+// logits. Safe for concurrent use.
+func (q *Network) Logits(x *tensor.T) []float32 {
+	in := qtensor{
+		shape: append([]int(nil), x.Shape...),
+		data:  q.inQP.QuantizeSlice(x.Data),
+		qp:    q.inQP,
+	}
+	for _, l := range q.layers {
+		var logits []float32
+		in, logits = l.forward(q, in)
+		if logits != nil {
+			return logits
+		}
+	}
+	// Networks not ending in a Dense layer: dequantize the final codes.
+	return in.qp.DequantizeSlice(in.data)
+}
+
+// Predict returns the argmax class for x.
+func (q *Network) Predict(x *tensor.T) int {
+	return tensor.ArgMax(q.Logits(x))
+}
+
+// qReLU and requantization stages are 256-entry code maps.
+type qReLU struct {
+	lut   []uint8
+	outQP quant.Params
+}
+
+func (r *qReLU) forward(_ *Network, in qtensor) (qtensor, []float32) {
+	out := qtensor{shape: in.shape, data: make([]uint8, len(in.data)), qp: r.outQP}
+	for i, c := range in.data {
+		out.data[i] = r.lut[c]
+	}
+	return out, nil
+}
+
+type qFlatten struct{}
+
+func (f *qFlatten) forward(_ *Network, in qtensor) (qtensor, []float32) {
+	return qtensor{shape: []int{len(in.data)}, data: in.data, qp: in.qp}, nil
+}
+
+// qAvgPool averages codes inside each window (affine codes average like
+// their real values) and requantizes via a 256-entry map.
+type qAvgPool struct {
+	k, stride int
+	lut       []uint8
+	outQP     quant.Params
+}
+
+func (p *qAvgPool) forward(_ *Network, in qtensor) (qtensor, []float32) {
+	c, h, w := in.shape[0], in.shape[1], in.shape[2]
+	outH := (h-p.k)/p.stride + 1
+	outW := (w-p.k)/p.stride + 1
+	out := qtensor{shape: []int{c, outH, outW}, data: make([]uint8, c*outH*outW), qp: p.outQP}
+	kk := p.k * p.k
+	half := kk / 2
+	for ci := 0; ci < c; ci++ {
+		src := in.data[ci*h*w:]
+		dst := out.data[ci*outH*outW:]
+		for oi := 0; oi < outH; oi++ {
+			for oj := 0; oj < outW; oj++ {
+				sum := 0
+				for ki := 0; ki < p.k; ki++ {
+					row := (oi*p.stride + ki) * w
+					for kj := 0; kj < p.k; kj++ {
+						sum += int(src[row+oj*p.stride+kj])
+					}
+				}
+				dst[oi*outW+oj] = p.lut[(sum+half)/kk]
+			}
+		}
+	}
+	return out, nil
+}

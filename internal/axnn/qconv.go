@@ -1,0 +1,155 @@
+package axnn
+
+import (
+	"repro/internal/nn"
+	"repro/internal/quant"
+)
+
+// qConv is the quantized convolution stage — the layer whose multipliers
+// the paper replaces with approximate designs.
+//
+// Weights are quantized per output channel (filter-wise scales), the
+// standard scheme for deep conv stacks: per-tensor scales starve
+// small-magnitude filters of resolution.
+//
+// With activation codes a (zero-point za) and weight codes w (zero-point
+// zw of the channel), the exact affine accumulation per output element is
+//
+//	acc = sum (a-za)(w-zw)
+//	    = sum M(a,w) - zw*sum(a) - za*sum(w) + n*za*zw
+//
+// where M is the multiplier. Only the first term goes through the
+// (possibly approximate) LUT; the zero-point corrections are exact adder
+// work in the accelerator and are computed exactly here, mirroring the
+// TFApprox formulation.
+type qConv struct {
+	inC, outC, k, stride, pad int
+
+	wCodes []uint8        // [outC][inC*k*k]
+	wSum   []int32        // per-outC sum of weight codes
+	wQP    []quant.Params // per-outC weight quantizer
+	inQP   quant.Params
+	outQP  quant.Params
+	bias   []float32
+}
+
+func newQConv(c *nn.Conv2D, inQP, outQP quant.Params, bits uint) *qConv {
+	kk := c.InC * c.K * c.K
+	q := &qConv{
+		inC: c.InC, outC: c.OutC, k: c.K, stride: c.Stride, pad: c.Pad,
+		wCodes: make([]uint8, c.OutC*kk),
+		wSum:   make([]int32, c.OutC),
+		wQP:    make([]quant.Params, c.OutC),
+		inQP:   inQP, outQP: outQP,
+		bias: append([]float32(nil), c.B...),
+	}
+	for oc := 0; oc < c.OutC; oc++ {
+		row := c.W[oc*kk : (oc+1)*kk]
+		lo, hi := quant.Range(row)
+		qp := quant.Calibrate(lo, hi, bits)
+		q.wQP[oc] = qp
+		codes := qp.QuantizeSlice(row)
+		copy(q.wCodes[oc*kk:(oc+1)*kk], codes)
+		var s int32
+		for _, w := range codes {
+			s += int32(w)
+		}
+		q.wSum[oc] = s
+	}
+	return q
+}
+
+func (c *qConv) forward(net *Network, in qtensor) (qtensor, []float32) {
+	h, w := in.shape[1], in.shape[2]
+	outH := (h+2*c.pad-c.k)/c.stride + 1
+	outW := (w+2*c.pad-c.k)/c.stride + 1
+	p := outH * outW
+	kk := c.inC * c.k * c.k
+
+	// im2col in the code domain; padding contributes the zero-point
+	// code (real value 0), as in the hardware dataflow.
+	cols := make([]uint8, kk*p)
+	im2colCodes(in.data, c.inC, h, w, c.k, c.stride, c.pad, in.qp.Zero, cols)
+
+	// Per-pixel activation-code sums for the zero-point correction.
+	aSum := make([]int32, p)
+	for q := 0; q < kk; q++ {
+		col := cols[q*p : (q+1)*p]
+		for i, a := range col {
+			aSum[i] += int32(a)
+		}
+	}
+
+	za := int32(c.inQP.Zero)
+	lut := net.mul
+
+	out := qtensor{shape: []int{c.outC, outH, outW}, data: make([]uint8, c.outC*p), qp: c.outQP}
+	acc := make([]int32, p)
+	for oc := 0; oc < c.outC; oc++ {
+		for i := range acc {
+			acc[i] = 0
+		}
+		wRow := c.wCodes[oc*kk : (oc+1)*kk]
+		for q := 0; q < kk; q++ {
+			wc := uint32(wRow[q])
+			col := cols[q*p : (q+1)*p]
+			for i, a := range col {
+				acc[i] += int32(lut[uint32(a)<<8|wc])
+			}
+		}
+		zw := int32(c.wQP[oc].Zero)
+		scale := c.inQP.Scale * c.wQP[oc].Scale
+		fixed := int32(kk)*za*zw - za*c.wSum[oc]
+		bias := c.bias[oc]
+		dst := out.data[oc*p : (oc+1)*p]
+		if net.noZP {
+			// Ablation: raw LUT sums without the correction adders.
+			for i := range acc {
+				dst[i] = c.outQP.Quantize(float32(acc[i])*scale + bias)
+			}
+			continue
+		}
+		for i := range acc {
+			v := float32(acc[i]-zw*aSum[i]+fixed)*scale + bias
+			dst[i] = c.outQP.Quantize(v)
+		}
+	}
+	return out, nil
+}
+
+// im2colCodes is Im2col over uint8 codes with a configurable padding
+// code (the activation zero-point).
+func im2colCodes(x []uint8, inC, h, w, k, stride, pad int, padCode uint8, cols []uint8) {
+	outH := (h+2*pad-k)/stride + 1
+	outW := (w+2*pad-k)/stride + 1
+	p := outH * outW
+	for ci := 0; ci < inC; ci++ {
+		base := ci * h * w
+		for ki := 0; ki < k; ki++ {
+			for kj := 0; kj < k; kj++ {
+				row := ((ci*k+ki)*k + kj) * p
+				idx := 0
+				for oi := 0; oi < outH; oi++ {
+					ii := oi*stride + ki - pad
+					if ii < 0 || ii >= h {
+						for oj := 0; oj < outW; oj++ {
+							cols[row+idx] = padCode
+							idx++
+						}
+						continue
+					}
+					rowBase := base + ii*w
+					for oj := 0; oj < outW; oj++ {
+						jj := oj*stride + kj - pad
+						if jj < 0 || jj >= w {
+							cols[row+idx] = padCode
+						} else {
+							cols[row+idx] = x[rowBase+jj]
+						}
+						idx++
+					}
+				}
+			}
+		}
+	}
+}

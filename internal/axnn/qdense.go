@@ -1,0 +1,80 @@
+package axnn
+
+import (
+	"repro/internal/nn"
+	"repro/internal/quant"
+)
+
+// qDense is the quantized fully connected stage. Per Section IV-A only
+// conv multipliers are approximate, so dense products default to exact
+// int32 MACs; Options.ApproxDense reroutes them through the LUT (used
+// for the conv-free FFNN of Fig. 1 and the dense-approximation
+// ablation). The final dense layer emits float logits directly.
+type qDense struct {
+	in, out int
+	wCodes  []uint8
+	wSum    []int32
+	wQP     quant.Params
+	inQP    quant.Params
+	outQP   quant.Params
+	bias    []float32
+	last    bool
+}
+
+func newQDense(d *nn.Dense, inQP, outQP quant.Params, bits uint, last bool) *qDense {
+	lo, hi := quant.Range(d.W)
+	wQP := quant.Calibrate(lo, hi, bits)
+	q := &qDense{
+		in: d.In, out: d.Out,
+		wCodes: wQP.QuantizeSlice(d.W),
+		wSum:   make([]int32, d.Out),
+		wQP:    wQP, inQP: inQP, outQP: outQP,
+		bias: append([]float32(nil), d.B...),
+		last: last,
+	}
+	for o := 0; o < d.Out; o++ {
+		var s int32
+		for _, w := range q.wCodes[o*d.In : (o+1)*d.In] {
+			s += int32(w)
+		}
+		q.wSum[o] = s
+	}
+	return q
+}
+
+func (d *qDense) forward(net *Network, in qtensor) (qtensor, []float32) {
+	za := int32(d.inQP.Zero)
+	zw := int32(d.wQP.Zero)
+	scale := d.inQP.Scale * d.wQP.Scale
+
+	var aSum int32
+	for _, a := range in.data {
+		aSum += int32(a)
+	}
+
+	vals := make([]float32, d.out)
+	for o := 0; o < d.out; o++ {
+		w := d.wCodes[o*d.in : (o+1)*d.in]
+		var acc int32
+		if net.approxDense {
+			lut := net.mul
+			for i, a := range in.data {
+				acc += int32(lut[uint32(a)<<8|uint32(w[i])])
+			}
+		} else {
+			for i, a := range in.data {
+				acc += int32(a) * int32(w[i])
+			}
+		}
+		acc += int32(d.in)*za*zw - za*d.wSum[o] - zw*aSum
+		vals[o] = float32(acc)*scale + d.bias[o]
+	}
+	if d.last {
+		return qtensor{}, vals
+	}
+	out := qtensor{shape: []int{d.out}, data: make([]uint8, d.out), qp: d.outQP}
+	for i, v := range vals {
+		out.data[i] = d.outQP.Quantize(v)
+	}
+	return out, nil
+}

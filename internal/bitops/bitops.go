@@ -1,0 +1,62 @@
+// Package bitops provides small bit-level helpers shared by the
+// gate-level arithmetic models in internal/adder and internal/axmult.
+//
+// All circuits in this repository are behavioural models: they operate on
+// uint32 words but mimic the bit-by-bit structure of the hardware designs
+// they stand in for, so approximation points (dropped cells, simplified
+// gates) land exactly where the corresponding silicon would put them.
+package bitops
+
+import "math/bits"
+
+// Bit returns bit i of x (0 or 1).
+func Bit(x uint32, i uint) uint32 {
+	return (x >> i) & 1
+}
+
+// SetBit returns x with bit i set to v (v must be 0 or 1).
+func SetBit(x uint32, i uint, v uint32) uint32 {
+	return (x &^ (1 << i)) | ((v & 1) << i)
+}
+
+// Mask returns a mask with the n least-significant bits set.
+// Mask(0) is 0; n is clamped to 32.
+func Mask(n uint) uint32 {
+	if n >= 32 {
+		return ^uint32(0)
+	}
+	return (1 << n) - 1
+}
+
+// LeadingOne returns the index of the most significant set bit of x,
+// or -1 if x is zero. LeadingOne(1) == 0, LeadingOne(0x80) == 7.
+func LeadingOne(x uint32) int {
+	if x == 0 {
+		return -1
+	}
+	return 31 - bits.LeadingZeros32(x)
+}
+
+// OnesCount returns the number of set bits in x.
+func OnesCount(x uint32) int {
+	return bits.OnesCount32(x)
+}
+
+// Clamp16 saturates a non-negative 32-bit value to the uint16 range.
+func Clamp16(x uint32) uint16 {
+	if x > 0xFFFF {
+		return 0xFFFF
+	}
+	return uint16(x)
+}
+
+// ClampI32 saturates x into [lo, hi].
+func ClampI32(x, lo, hi int32) int32 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,97 @@
+package bitops
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBit(t *testing.T) {
+	if Bit(0b1010, 1) != 1 || Bit(0b1010, 0) != 0 || Bit(0b1010, 3) != 1 {
+		t.Fatal("Bit extraction wrong")
+	}
+}
+
+func TestSetBit(t *testing.T) {
+	if SetBit(0, 3, 1) != 8 {
+		t.Fatalf("SetBit(0,3,1) = %d", SetBit(0, 3, 1))
+	}
+	if SetBit(0xFF, 0, 0) != 0xFE {
+		t.Fatalf("SetBit(0xFF,0,0) = %d", SetBit(0xFF, 0, 0))
+	}
+	// Setting an already-set bit is a no-op.
+	if SetBit(8, 3, 1) != 8 {
+		t.Fatal("SetBit idempotence")
+	}
+}
+
+func TestSetBitRoundTrip(t *testing.T) {
+	f := func(x uint32, i uint8, v bool) bool {
+		idx := uint(i % 32)
+		var bit uint32
+		if v {
+			bit = 1
+		}
+		return Bit(SetBit(x, idx, bit), idx) == bit
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMask(t *testing.T) {
+	cases := []struct {
+		n    uint
+		want uint32
+	}{{0, 0}, {1, 1}, {4, 0xF}, {8, 0xFF}, {32, 0xFFFFFFFF}, {40, 0xFFFFFFFF}}
+	for _, c := range cases {
+		if got := Mask(c.n); got != c.want {
+			t.Errorf("Mask(%d) = %#x, want %#x", c.n, got, c.want)
+		}
+	}
+}
+
+func TestLeadingOne(t *testing.T) {
+	cases := []struct {
+		x    uint32
+		want int
+	}{{0, -1}, {1, 0}, {2, 1}, {3, 1}, {0x80, 7}, {0xFF, 7}, {0x100, 8}, {1 << 31, 31}}
+	for _, c := range cases {
+		if got := LeadingOne(c.x); got != c.want {
+			t.Errorf("LeadingOne(%#x) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}
+
+func TestLeadingOneBound(t *testing.T) {
+	f := func(x uint32) bool {
+		lo := LeadingOne(x)
+		if x == 0 {
+			return lo == -1
+		}
+		return lo >= 0 && lo < 32 && x>>uint(lo) == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClamp16(t *testing.T) {
+	if Clamp16(70000) != 0xFFFF {
+		t.Fatal("Clamp16 saturate")
+	}
+	if Clamp16(123) != 123 {
+		t.Fatal("Clamp16 passthrough")
+	}
+}
+
+func TestClampI32(t *testing.T) {
+	if ClampI32(5, 0, 3) != 3 || ClampI32(-5, 0, 3) != 0 || ClampI32(2, 0, 3) != 2 {
+		t.Fatal("ClampI32 wrong")
+	}
+}
+
+func TestOnesCount(t *testing.T) {
+	if OnesCount(0b1011) != 3 || OnesCount(0) != 0 {
+		t.Fatal("OnesCount wrong")
+	}
+}

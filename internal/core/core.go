@@ -1,0 +1,193 @@
+// Package core implements the paper's contribution: the adversarial
+// robustness evaluation methodology for approximate DNN accelerators
+// (Algorithm 1 and the analyses of Section IV).
+//
+// The protocol, faithful to the paper's threat model:
+//
+//  1. Adversarial examples are crafted against the accurate float DNN
+//     (the adversary knows the model but not the accelerator's
+//     inexactness) for every perturbation budget in the sweep.
+//  2. Each crafted input is replayed on every victim — the quantized
+//     accurate DNN and the AxDNNs, one per approximate multiplier.
+//  3. Robustness is the percentage of test samples the victim still
+//     classifies correctly: R(eps) = (1 - adv/|D|) * 100.
+//
+// Because step 1 is independent of the victim, each (attack, eps,
+// sample) adversarial example is crafted once and amortised across all
+// victims, exactly as Algorithm 1's loop nesting implies.
+package core
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/attack"
+	"repro/internal/dataset"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Victim is a named classifier under evaluation. Factory must return an
+// instance safe for use by a single goroutine; thread-safe models may
+// return themselves.
+type Victim struct {
+	Name    string
+	Factory func() attack.Model
+}
+
+// NewVictim wraps a concurrency-safe model (e.g. a compiled axnn
+// network) as a victim.
+func NewVictim(name string, m attack.Model) Victim {
+	return Victim{Name: name, Factory: func() attack.Model { return m }}
+}
+
+// NewFloatVictim wraps a float nn network, cloning it per worker since
+// its forward pass caches activations.
+func NewFloatVictim(name string, n *nn.Network) Victim {
+	return Victim{Name: name, Factory: func() attack.Model { return n.Clone() }}
+}
+
+// Options tunes a robustness evaluation.
+type Options struct {
+	// Samples caps the number of test samples (0 = all).
+	Samples int
+	// Seed drives the attack randomness; each (sample, eps) pair gets
+	// an independent deterministic stream.
+	Seed int64
+	// Workers caps parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Grid is the result of sweeping one attack over perturbation budgets
+// and victims — one paper heat-map panel (Figs. 4-7).
+type Grid struct {
+	Attack  string
+	Dataset string
+	Eps     []float64
+	Victims []string
+	// Acc[ei][vi] is the percentage robustness of victim vi at Eps[ei].
+	Acc [][]float64
+}
+
+// RobustnessGrid runs Algorithm 1: for every budget in eps, craft
+// adversarial examples on the accurate source model and evaluate every
+// victim on them.
+func RobustnessGrid(src *nn.Network, victims []Victim, set *dataset.Set, atk attack.Attack, eps []float64, opts Options) *Grid {
+	test := set.Slice(opts.Samples)
+	g := &Grid{
+		Attack:  atk.Name(),
+		Dataset: set.Name,
+		Eps:     append([]float64(nil), eps...),
+		Acc:     make([][]float64, len(eps)),
+	}
+	for _, v := range victims {
+		g.Victims = append(g.Victims, v.Name)
+	}
+	for ei, e := range eps {
+		g.Acc[ei] = evaluateOnce(src, victims, test, atk, e, opts, ei)
+	}
+	return g
+}
+
+// evaluateOnce crafts adversarial examples at a single budget and
+// returns per-victim robustness percentages.
+func evaluateOnce(src *nn.Network, victims []Victim, test *dataset.Set, atk attack.Attack, eps float64, opts Options, epsIdx int) []float64 {
+	workers := opts.workers()
+	if workers > test.Len() {
+		workers = test.Len()
+	}
+	correct := make([][]int64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			srcLocal := src.Clone()
+			vlocal := make([]attack.Model, len(victims))
+			for i, v := range victims {
+				vlocal[i] = v.Factory()
+			}
+			cnt := make([]int64, len(victims))
+			for i := w; i < test.Len(); i += workers {
+				rng := rand.New(rand.NewSource(opts.Seed + int64(i)*1_000_003 + int64(epsIdx)*7_919))
+				adv := atk.Perturb(srcLocal, test.X[i], test.Y[i], eps, rng)
+				for vi, vm := range vlocal {
+					if tensor.ArgMax(vm.Logits(adv)) == test.Y[i] {
+						cnt[vi]++
+					}
+				}
+			}
+			correct[w] = cnt
+		}(w)
+	}
+	wg.Wait()
+	out := make([]float64, len(victims))
+	for vi := range victims {
+		var c int64
+		for w := 0; w < workers; w++ {
+			c += correct[w][vi]
+		}
+		out[vi] = 100 * float64(c) / float64(test.Len())
+	}
+	return out
+}
+
+// At returns the robustness of victim name at budget eps, and whether
+// the grid contains that cell.
+func (g *Grid) At(eps float64, name string) (float64, bool) {
+	ei, vi := -1, -1
+	for i, e := range g.Eps {
+		if e == eps {
+			ei = i
+		}
+	}
+	for i, v := range g.Victims {
+		if v == name {
+			vi = i
+		}
+	}
+	if ei < 0 || vi < 0 {
+		return 0, false
+	}
+	return g.Acc[ei][vi], true
+}
+
+// Column returns victim name's robustness across all budgets.
+func (g *Grid) Column(name string) []float64 {
+	for vi, v := range g.Victims {
+		if v == name {
+			col := make([]float64, len(g.Eps))
+			for ei := range g.Eps {
+				col[ei] = g.Acc[ei][vi]
+			}
+			return col
+		}
+	}
+	return nil
+}
+
+// MaxAccuracyLoss returns the largest drop from the eps=0 row observed
+// anywhere in the grid, with the victim and budget where it happens —
+// the paper's headline "X% accuracy loss" statistic.
+func (g *Grid) MaxAccuracyLoss() (loss float64, victim string, eps float64) {
+	if len(g.Acc) == 0 {
+		return 0, "", 0
+	}
+	base := g.Acc[0]
+	for ei := range g.Eps {
+		for vi := range g.Victims {
+			if d := base[vi] - g.Acc[ei][vi]; d > loss {
+				loss, victim, eps = d, g.Victims[vi], g.Eps[ei]
+			}
+		}
+	}
+	return loss, victim, eps
+}

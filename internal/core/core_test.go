@@ -1,0 +1,147 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/axnn"
+	"repro/internal/dataset"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/train"
+)
+
+// fixture trains a small LeNet once for all core tests.
+type fixture struct {
+	net  *nn.Network
+	test *dataset.Set
+}
+
+var fix *fixture
+
+func getFixture(t *testing.T) *fixture {
+	t.Helper()
+	if fix == nil {
+		tr := dataset.Digits(1500, 41)
+		test := dataset.Digits(200, 42)
+		net := models.LeNet5(1, 28, 28, 10, 43)
+		net.Name = "lenet5-test"
+		train.Fit(net, tr, train.Config{Epochs: 2, Batch: 32, LR: 0.05, Momentum: 0.9, Seed: 2})
+		fix = &fixture{net: net, test: test}
+	}
+	return fix
+}
+
+func TestRobustnessGridShapeAndBaseline(t *testing.T) {
+	f := getFixture(t)
+	victims, err := BuildAxVictims(f.net, f.test, []string{"mul8u_1JFF", "mul8u_JV3"}, axnn.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	atk := attack.ByName("FGM-linf")
+	g := RobustnessGrid(f.net, victims, f.test, atk, []float64{0, 0.1}, Options{Samples: 80, Seed: 3})
+	if len(g.Acc) != 2 || len(g.Acc[0]) != 2 {
+		t.Fatalf("grid shape %dx%d", len(g.Acc), len(g.Acc[0]))
+	}
+	// eps=0 row is clean accuracy: the quantized accurate victim must
+	// be close to the float model's accuracy.
+	floatAcc := 100 * train.AccuracyCloned(func() train.Predictor { return f.net.Clone() }, f.test, 80)
+	if diff := g.Acc[0][0] - floatAcc; diff > 5 || diff < -5 {
+		t.Fatalf("clean quantized accuracy %f far from float %f", g.Acc[0][0], floatAcc)
+	}
+	// The attack must not increase accuracy at a real budget.
+	if g.Acc[1][0] > g.Acc[0][0] {
+		t.Fatalf("FGM increased accuracy: %f -> %f", g.Acc[0][0], g.Acc[1][0])
+	}
+}
+
+func TestGridDeterminism(t *testing.T) {
+	f := getFixture(t)
+	victims, err := BuildAxVictims(f.net, f.test, []string{"mul8u_1JFF"}, axnn.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	atk := attack.ByName("RAU-linf")
+	a := RobustnessGrid(f.net, victims, f.test, atk, []float64{0.2}, Options{Samples: 60, Seed: 9})
+	b := RobustnessGrid(f.net, victims, f.test, atk, []float64{0.2}, Options{Samples: 60, Seed: 9})
+	if a.Acc[0][0] != b.Acc[0][0] {
+		t.Fatalf("grid not deterministic: %f vs %f", a.Acc[0][0], b.Acc[0][0])
+	}
+}
+
+func TestGridAccessors(t *testing.T) {
+	g := &Grid{
+		Attack:  "X",
+		Eps:     []float64{0, 1},
+		Victims: []string{"a", "b"},
+		Acc:     [][]float64{{90, 80}, {50, 20}},
+	}
+	if v, ok := g.At(1, "b"); !ok || v != 20 {
+		t.Fatalf("At(1,b) = %f,%v", v, ok)
+	}
+	if _, ok := g.At(2, "b"); ok {
+		t.Fatal("At with unknown eps should report !ok")
+	}
+	col := g.Column("a")
+	if len(col) != 2 || col[1] != 50 {
+		t.Fatalf("Column(a) = %v", col)
+	}
+	if g.Column("zzz") != nil {
+		t.Fatal("unknown column should be nil")
+	}
+	loss, victim, eps := g.MaxAccuracyLoss()
+	if loss != 60 || victim != "b" || eps != 1 {
+		t.Fatalf("MaxAccuracyLoss = %f %s %f", loss, victim, eps)
+	}
+}
+
+func TestGridRender(t *testing.T) {
+	g := &Grid{
+		Attack:  "BIM-linf",
+		Dataset: "d",
+		Eps:     []float64{0, 0.5},
+		Victims: []string{"mul8u_1JFF", "mul8u_JV3"},
+		Acc:     [][]float64{{98, 93}, {50, 40}},
+	}
+	s := g.String()
+	if !strings.Contains(s, "1JFF") || !strings.Contains(s, "JV3") {
+		t.Fatalf("render missing columns:\n%s", s)
+	}
+	if !strings.Contains(s, "0.50") {
+		t.Fatalf("render missing eps row:\n%s", s)
+	}
+}
+
+func TestBuildAxVictimsUnknownMultiplier(t *testing.T) {
+	f := getFixture(t)
+	if _, err := BuildAxVictims(f.net, f.test, []string{"mul8u_NOPE"}, axnn.Options{}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestQuantPair(t *testing.T) {
+	f := getFixture(t)
+	pair, err := QuantPair(f.net, f.test, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pair) != 2 || pair[0].Name != "float" || pair[1].Name != "q8" {
+		t.Fatalf("QuantPair = %v", []string{pair[0].Name, pair[1].Name})
+	}
+}
+
+func TestTransferProtocol(t *testing.T) {
+	f := getFixture(t)
+	victims, err := BuildAxVictims(f.net, f.test, []string{"mul8u_17KS"}, axnn.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Transfer(f.net, victims[0], f.test, attack.ByName("BIM-linf"), 0.1, Options{Samples: 60, Seed: 4})
+	if res.CleanAcc < res.AdvAcc {
+		t.Fatalf("transfer attack increased accuracy: %v", res)
+	}
+	if !strings.Contains(res.String(), "->") {
+		t.Fatalf("TransferResult.String() = %q", res.String())
+	}
+}

@@ -1,0 +1,39 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the grid in the paper's figure layout: one row per
+// perturbation budget, one column per victim, cell = % robustness.
+func (g *Grid) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s on %s (robustness %%)\n", g.Attack, g.Dataset)
+	fmt.Fprintf(&b, "%8s", "eps")
+	for _, v := range g.Victims {
+		fmt.Fprintf(&b, " %*s", colWidth(v), shortName(v))
+	}
+	b.WriteByte('\n')
+	for ei, e := range g.Eps {
+		fmt.Fprintf(&b, "%8.2f", e)
+		for vi, v := range g.Victims {
+			fmt.Fprintf(&b, " %*.0f", colWidth(v), g.Acc[ei][vi])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// shortName strips the mul8u_ prefix so grid columns stay narrow.
+func shortName(v string) string {
+	return strings.TrimPrefix(v, "mul8u_")
+}
+
+func colWidth(v string) int {
+	w := len(shortName(v))
+	if w < 4 {
+		w = 4
+	}
+	return w
+}

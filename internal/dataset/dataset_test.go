@@ -1,0 +1,172 @@
+package dataset
+
+import (
+	"testing"
+)
+
+func TestDigitsDeterministic(t *testing.T) {
+	a := Digits(50, 7)
+	b := Digits(50, 7)
+	for i := range a.X {
+		if a.Y[i] != b.Y[i] {
+			t.Fatal("labels differ across identical seeds")
+		}
+		for j := range a.X[i].Data {
+			if a.X[i].Data[j] != b.X[i].Data[j] {
+				t.Fatal("pixels differ across identical seeds")
+			}
+		}
+	}
+}
+
+func TestDigitsSeedsDiffer(t *testing.T) {
+	a := Digits(10, 1)
+	b := Digits(10, 2)
+	same := true
+	for i := range a.X {
+		for j := range a.X[i].Data {
+			if a.X[i].Data[j] != b.X[i].Data[j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestDigitsShapeAndRange(t *testing.T) {
+	s := Digits(30, 3)
+	if s.Classes != 10 {
+		t.Fatal("classes != 10")
+	}
+	for i, x := range s.X {
+		if len(x.Shape) != 3 || x.Shape[0] != 1 || x.Shape[1] != 28 || x.Shape[2] != 28 {
+			t.Fatalf("sample %d shape %v", i, x.Shape)
+		}
+		for _, v := range x.Data {
+			if v < 0 || v > 1 {
+				t.Fatalf("pixel %f outside [0,1]", v)
+			}
+		}
+		if s.Y[i] < 0 || s.Y[i] > 9 {
+			t.Fatalf("label %d out of range", s.Y[i])
+		}
+	}
+}
+
+func TestDigitsBalanced(t *testing.T) {
+	s := Digits(200, 4)
+	counts := make([]int, 10)
+	for _, y := range s.Y {
+		counts[y]++
+	}
+	for c, n := range counts {
+		if n != 20 {
+			t.Fatalf("class %d has %d samples, want 20", c, n)
+		}
+	}
+}
+
+func TestDigitsClassesAreDistinct(t *testing.T) {
+	// Mean images of different classes must differ substantially;
+	// otherwise the generator lost its class signal.
+	s := Digits(400, 5)
+	means := make([][]float32, 10)
+	counts := make([]int, 10)
+	for i := range means {
+		means[i] = make([]float32, 28*28)
+	}
+	for i, x := range s.X {
+		y := s.Y[i]
+		counts[y]++
+		for j, v := range x.Data {
+			means[y][j] += v
+		}
+	}
+	for c := range means {
+		for j := range means[c] {
+			means[c][j] /= float32(counts[c])
+		}
+	}
+	var dist float64
+	for j := range means[0] {
+		d := float64(means[0][j] - means[1][j])
+		dist += d * d
+	}
+	if dist < 0.5 {
+		t.Fatalf("class mean images of 0 and 1 too close: %f", dist)
+	}
+}
+
+func TestDigits32Format(t *testing.T) {
+	s := Digits32(20, 6)
+	for _, x := range s.X {
+		if x.Shape[0] != 3 || x.Shape[1] != 32 || x.Shape[2] != 32 {
+			t.Fatalf("Digits32 shape %v", x.Shape)
+		}
+		// Channels must be replicas.
+		for i := 0; i < 1024; i++ {
+			if x.Data[i] != x.Data[1024+i] || x.Data[i] != x.Data[2048+i] {
+				t.Fatal("Digits32 channels not replicated")
+			}
+		}
+	}
+}
+
+func TestDigits32MatchesDigitsLabels(t *testing.T) {
+	a := Digits(15, 9)
+	b := Digits32(15, 9)
+	for i := range a.Y {
+		if a.Y[i] != b.Y[i] {
+			t.Fatal("Digits32 labels diverge from Digits with same seed")
+		}
+	}
+}
+
+func TestObjectsDeterministic(t *testing.T) {
+	a := Objects(30, 11)
+	b := Objects(30, 11)
+	for i := range a.X {
+		for j := range a.X[i].Data {
+			if a.X[i].Data[j] != b.X[i].Data[j] {
+				t.Fatal("Objects not deterministic")
+			}
+		}
+	}
+}
+
+func TestObjectsShapeRangeBalance(t *testing.T) {
+	s := Objects(100, 12)
+	counts := make([]int, 10)
+	for i, x := range s.X {
+		if x.Shape[0] != 3 || x.Shape[1] != 32 || x.Shape[2] != 32 {
+			t.Fatalf("Objects shape %v", x.Shape)
+		}
+		for _, v := range x.Data {
+			if v < 0 || v > 1 {
+				t.Fatalf("pixel %f outside [0,1]", v)
+			}
+		}
+		counts[s.Y[i]]++
+	}
+	for c, n := range counts {
+		if n != 10 {
+			t.Fatalf("class %d has %d samples", c, n)
+		}
+	}
+}
+
+func TestSliceAndInputs(t *testing.T) {
+	s := Digits(40, 13)
+	sl := s.Slice(10)
+	if sl.Len() != 10 {
+		t.Fatal("Slice wrong length")
+	}
+	if s.Slice(0).Len() != 40 || s.Slice(100).Len() != 40 {
+		t.Fatal("Slice bounds handling wrong")
+	}
+	if len(s.Inputs(5)) != 5 {
+		t.Fatal("Inputs wrong length")
+	}
+}

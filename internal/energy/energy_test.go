@@ -1,0 +1,131 @@
+package energy
+
+import (
+	"testing"
+
+	"repro/internal/axmult"
+)
+
+func TestExactIsUnitCost(t *testing.T) {
+	c, err := Estimate("mul8u_1JFF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Energy < 0.99 || c.Energy > 1.01 {
+		t.Fatalf("exact energy %.3f, want ~1", c.Energy)
+	}
+	if c.Area != 1 || c.Delay != 1 {
+		t.Fatalf("exact area/delay %v, want 1/1", c)
+	}
+}
+
+func TestApproximateDesignsSaveEnergy(t *testing.T) {
+	// Every approximate design in the paper's sets must cost no more
+	// than the exact multiplier — the premise of approximate computing.
+	for _, set := range [][]string{axmult.MNISTSet(), axmult.CIFARSet()} {
+		for _, name := range set[1:] {
+			c, err := Estimate(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c.Energy > 1.001 {
+				t.Errorf("%s energy %.3f exceeds exact", name, c.Energy)
+			}
+			if c.Area > 1.2 {
+				t.Errorf("%s area %.3f exceeds exact substantially", name, c.Area)
+			}
+			if c.Energy <= 0 || c.Area <= 0 || c.Delay <= 0 {
+				t.Errorf("%s has non-positive cost: %+v", name, c)
+			}
+		}
+	}
+}
+
+func TestAggressiveTruncationCheaperThanMild(t *testing.T) {
+	mild, err := Estimate("trunc3c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggressive, err := Estimate("trunc7c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aggressive.Energy >= mild.Energy {
+		t.Fatalf("trunc7c energy %.3f not below trunc3c %.3f", aggressive.Energy, mild.Energy)
+	}
+	if aggressive.Area >= mild.Area {
+		t.Fatalf("trunc7c area %.3f not below trunc3c %.3f", aggressive.Area, mild.Area)
+	}
+}
+
+func TestDRUMCheaperThanExact(t *testing.T) {
+	d, err := Estimate("mul8u_JQQ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Area >= 0.8 {
+		t.Fatalf("DRUM4 area %.3f, want well under exact", d.Area)
+	}
+}
+
+func TestEstimateUnknown(t *testing.T) {
+	if _, err := Estimate("mul8u_NOPE"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestCountMACsLeNetShape(t *testing.T) {
+	// LeNet-5 on 28x28: conv MACs dominate, matching the paper's
+	// rationale for approximating conv multipliers only.
+	layers := []LayerGeom{
+		{Kind: "conv", InC: 1, OutC: 6, K: 5, OutH: 28, OutW: 28},
+		{Kind: "conv", InC: 6, OutC: 16, K: 5, OutH: 10, OutW: 10},
+		{Kind: "conv", InC: 16, OutC: 120, K: 5, OutH: 1, OutW: 1},
+		{Kind: "dense", In: 120, Out: 84},
+		{Kind: "dense", In: 84, Out: 10},
+	}
+	m := CountMACs(layers)
+	if m.Conv != 6*28*28*25+16*100*6*25+120*16*25 {
+		t.Fatalf("conv MACs = %d", m.Conv)
+	}
+	if m.Dense != 120*84+84*10 {
+		t.Fatalf("dense MACs = %d", m.Dense)
+	}
+	if m.Conv < 10*m.Dense {
+		t.Fatal("conv should dominate LeNet MACs")
+	}
+}
+
+func TestInferenceEnergyOrdering(t *testing.T) {
+	macs := InferenceMACs{Conv: 1_000_000, Dense: 10_000}
+	exact, err := InferenceEnergy(macs, "mul8u_1JFF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := InferenceEnergy(macs, "mul8u_JQQ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if approx >= exact {
+		t.Fatalf("approximate inference %.0f not cheaper than exact %.0f", approx, exact)
+	}
+	// Dense MACs are always exact: energy must exceed the conv-only part.
+	if approx <= float64(macs.Dense) {
+		t.Fatal("dense contribution missing")
+	}
+}
+
+func TestTradeoffRows(t *testing.T) {
+	rows, err := Tradeoff([]string{"mul8u_1JFF", "mul8u_JQQ"}, map[string]float64{
+		"mul8u_1JFF": 99, "mul8u_JQQ": 97,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Accuracy != 99 || rows[1].Accuracy != 97 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if rows[1].String() == "" {
+		t.Fatal("empty render")
+	}
+}

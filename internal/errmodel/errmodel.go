@@ -1,0 +1,85 @@
+// Package errmodel computes exhaustive error metrics for 8x8
+// approximate multipliers — the standard figures of merit used by the
+// EvoApprox8b library and by the paper (which quantifies approximation
+// noise via MAE%).
+//
+// All metrics are computed over the full 65536-point input space with
+// uniform operand distribution, matching how EvoApprox reports them.
+package errmodel
+
+import (
+	"math"
+
+	"repro/internal/axmult"
+)
+
+// MaxProduct is the largest exact product of two 8-bit operands.
+const MaxProduct = 255 * 255
+
+// Metrics summarises the error behaviour of a multiplier relative to
+// the exact product, over all 65536 input pairs.
+type Metrics struct {
+	Name string
+
+	MAE  float64 // mean |error|
+	MAEP float64 // MAE as % of MaxProduct (the paper's "MAE%")
+	WCE  float64 // worst-case |error|
+	WCEP float64 // WCE as % of MaxProduct
+	MRE  float64 // mean relative error over non-zero exact products, %
+	Bias float64 // mean signed error (negative = undershoots)
+	Var  float64 // variance of signed error
+	EP   float64 // error probability: fraction of inputs with any error
+}
+
+// Measure computes Metrics for m exhaustively.
+func Measure(m axmult.Multiplier) Metrics {
+	var (
+		sumAbs, sumSigned, sumSq, sumRel float64
+		wce                              float64
+		errs, relN                       int
+	)
+	for a := 0; a < 256; a++ {
+		for b := 0; b < 256; b++ {
+			exact := float64(a * b)
+			got := float64(m.Mul(uint8(a), uint8(b)))
+			e := got - exact
+			ae := math.Abs(e)
+			sumAbs += ae
+			sumSigned += e
+			sumSq += e * e
+			if ae > wce {
+				wce = ae
+			}
+			if ae > 0 {
+				errs++
+			}
+			if exact != 0 {
+				sumRel += ae / exact
+				relN++
+			}
+		}
+	}
+	n := float64(256 * 256)
+	mean := sumSigned / n
+	return Metrics{
+		Name: m.Name(),
+		MAE:  sumAbs / n,
+		MAEP: 100 * sumAbs / n / MaxProduct,
+		WCE:  wce,
+		WCEP: 100 * wce / MaxProduct,
+		MRE:  100 * sumRel / float64(relN),
+		Bias: mean,
+		Var:  sumSq/n - mean*mean,
+		EP:   float64(errs) / n,
+	}
+}
+
+// MeasureNamed measures the registered multiplier name via its compiled
+// LUT (so the measurement also covers the LUT path).
+func MeasureNamed(name string) (Metrics, error) {
+	l, err := axmult.Lookup(name)
+	if err != nil {
+		return Metrics{}, err
+	}
+	return Measure(l), nil
+}

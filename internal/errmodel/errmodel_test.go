@@ -1,0 +1,100 @@
+package errmodel
+
+import (
+	"testing"
+
+	"repro/internal/axmult"
+)
+
+func TestExactHasZeroError(t *testing.T) {
+	m := Measure(axmult.Exact)
+	if m.MAE != 0 || m.WCE != 0 || m.EP != 0 || m.Bias != 0 || m.Var != 0 {
+		t.Fatalf("exact multiplier has nonzero error metrics: %+v", m)
+	}
+}
+
+func TestMeasureNamedAccurate(t *testing.T) {
+	m, err := MeasureNamed("mul8u_1JFF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.MAE != 0 {
+		t.Fatalf("1JFF MAE = %f, want 0", m.MAE)
+	}
+}
+
+func TestMeasureNamedUnknown(t *testing.T) {
+	if _, err := MeasureNamed("mul8u_NOPE"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+// TestPaperMAEOrdering pins the qualitative MAE relationships the paper
+// quotes: the accurate design has zero error, the small designs (96D,
+// 12N4) are well under the big ones (JQQ, FTA), and 17KS sits between.
+func TestPaperMAEOrdering(t *testing.T) {
+	maep := func(name string) float64 {
+		m, err := MeasureNamed(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.MAEP
+	}
+	small := []string{"mul8u_96D", "mul8u_12N4"}
+	big := []string{"mul8u_JQQ", "mul8u_FTA", "mul8u_JV3"}
+	for _, s := range small {
+		for _, b := range big {
+			if maep(s) >= maep(b) {
+				t.Errorf("MAE%%(%s)=%.4f not < MAE%%(%s)=%.4f", s, maep(s), b, maep(b))
+			}
+		}
+	}
+	if maep("mul8u_1JFF") != 0 {
+		t.Error("accurate design must have zero MAE")
+	}
+}
+
+func TestMetricsInternalConsistency(t *testing.T) {
+	for _, name := range axmult.MNISTSet() {
+		m, err := MeasureNamed(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.WCE < m.MAE {
+			t.Errorf("%s: WCE %.1f < MAE %.1f", name, m.WCE, m.MAE)
+		}
+		if m.EP < 0 || m.EP > 1 {
+			t.Errorf("%s: EP %.3f outside [0,1]", name, m.EP)
+		}
+		if m.Var < 0 {
+			t.Errorf("%s: negative variance", name)
+		}
+		if b := m.Bias; b > m.MAE || -b > m.MAE {
+			t.Errorf("%s: |bias| %.1f exceeds MAE %.1f", name, b, m.MAE)
+		}
+	}
+}
+
+func TestUnbiasedDesigns(t *testing.T) {
+	// Compensated designs advertise near-zero mean error.
+	for _, name := range []string{"mul8u_96D", "mul8u_1AGV", "mul8u_L40"} {
+		m, err := MeasureNamed(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Bias > 5 || m.Bias < -5 {
+			t.Errorf("%s: bias %.2f, want near zero", name, m.Bias)
+		}
+	}
+}
+
+func TestUndershootingDesigns(t *testing.T) {
+	// Log-family designs never overshoot, so their bias is negative.
+	m, err := MeasureNamed("mul8u_JV3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Bias >= 0 {
+		t.Errorf("JV3 (Mitchell) bias %.2f, want negative", m.Bias)
+	}
+}

@@ -1,0 +1,90 @@
+// Package models builds the paper's three architectures (Section IV-A):
+//
+//   - LeNet-5: two conv+avgpool blocks, a flattening conv layer, two
+//     fully connected layers, softmax classifier.
+//   - AlexNet (CIFAR-scale): five conv layers, three avgpool layers,
+//     two fully connected layers.
+//   - FFNN: the feed-forward network of the Fig. 1 motivational study.
+//
+// Builders are parameterised on input geometry so the same
+// architectures run on both the MNIST-like (28x28x1) and CIFAR-like
+// (32x32x3) datasets, as the transferability study requires.
+package models
+
+import (
+	"math/rand"
+
+	"repro/internal/nn"
+)
+
+// convOut returns the conv output size for input n.
+func convOut(n, k, stride, pad int) int { return (n+2*pad-k)/stride + 1 }
+
+// LeNet5 builds the paper's LeNet-5 for the given input geometry.
+func LeNet5(inC, inH, inW, classes int, seed int64) *nn.Network {
+	rng := rand.New(rand.NewSource(seed))
+	h, w := inH, inW
+	c1 := nn.NewConv2D(inC, 6, 5, 1, 2, rng)
+	h, w = convOut(h, 5, 1, 2), convOut(w, 5, 1, 2)
+	h, w = h/2, w/2 // pool
+	c2 := nn.NewConv2D(6, 16, 5, 1, 0, rng)
+	h, w = convOut(h, 5, 1, 0), convOut(w, 5, 1, 0)
+	h, w = h/2, w/2 // pool
+	c3 := nn.NewConv2D(16, 120, 5, 1, 0, rng)
+	h, w = convOut(h, 5, 1, 0), convOut(w, 5, 1, 0)
+	flat := 120 * h * w
+	return &nn.Network{
+		Name: "lenet5",
+		Layers: []nn.Layer{
+			c1, &nn.ReLU{}, nn.NewAvgPool2D(2, 2),
+			c2, &nn.ReLU{}, nn.NewAvgPool2D(2, 2),
+			c3, &nn.ReLU{},
+			&nn.Flatten{},
+			nn.NewDense(flat, 84, rng), &nn.ReLU{},
+			nn.NewDense(84, classes, rng),
+		},
+	}
+}
+
+// AlexNet builds the paper's CIFAR-scale AlexNet: five convolutions,
+// three average-pooling layers, two fully connected layers.
+func AlexNet(inC, inH, inW, classes int, seed int64) *nn.Network {
+	rng := rand.New(rand.NewSource(seed))
+	h, w := inH, inW
+	c1 := nn.NewConv2D(inC, 32, 3, 1, 1, rng)
+	h, w = h/2, w/2 // pool 1
+	c2 := nn.NewConv2D(32, 64, 3, 1, 1, rng)
+	h, w = h/2, w/2 // pool 2
+	c3 := nn.NewConv2D(64, 96, 3, 1, 1, rng)
+	c4 := nn.NewConv2D(96, 64, 3, 1, 1, rng)
+	c5 := nn.NewConv2D(64, 64, 3, 1, 1, rng)
+	h, w = h/2, w/2 // pool 3
+	flat := 64 * h * w
+	return &nn.Network{
+		Name: "alexnet",
+		Layers: []nn.Layer{
+			c1, &nn.ReLU{}, nn.NewAvgPool2D(2, 2),
+			c2, &nn.ReLU{}, nn.NewAvgPool2D(2, 2),
+			c3, &nn.ReLU{},
+			c4, &nn.ReLU{},
+			c5, &nn.ReLU{}, nn.NewAvgPool2D(2, 2),
+			&nn.Flatten{},
+			nn.NewDense(flat, 256, rng), &nn.ReLU{},
+			nn.NewDense(256, classes, rng),
+		},
+	}
+}
+
+// FFNN builds the feed-forward network of the Fig. 1 study.
+func FFNN(in, classes int, seed int64) *nn.Network {
+	rng := rand.New(rand.NewSource(seed))
+	return &nn.Network{
+		Name: "ffnn",
+		Layers: []nn.Layer{
+			&nn.Flatten{},
+			nn.NewDense(in, 128, rng), &nn.ReLU{},
+			nn.NewDense(128, 64, rng), &nn.ReLU{},
+			nn.NewDense(64, classes, rng),
+		},
+	}
+}

@@ -1,0 +1,65 @@
+package modelzoo
+
+import (
+	"testing"
+)
+
+func TestNamesStable(t *testing.T) {
+	names := Names()
+	if len(names) != 6 {
+		t.Fatalf("zoo has %d models, want 6", len(names))
+	}
+	for _, n := range names {
+		if _, ok := entries[n]; !ok {
+			t.Fatalf("Names() lists %q which has no entry", n)
+		}
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("no-such-model"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+// TestGetLeNetAccuracy loads (or trains once) the paper's main model
+// and checks it sits in the paper's MNIST accuracy regime.
+func TestGetLeNetAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("model loading/training in -short mode")
+	}
+	m, err := Get("lenet5-digits")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CleanAcc < 95 {
+		t.Fatalf("lenet5-digits accuracy %.1f%%, want >= 95%% (paper baseline regime 98%%)", m.CleanAcc)
+	}
+	// Memoisation: second Get returns the identical instance.
+	m2, err := Get("lenet5-digits")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2 != m {
+		t.Fatal("Get did not memoise")
+	}
+}
+
+func TestTestSetDisjointSeedFromTrain(t *testing.T) {
+	// Train and test sets must come from different seeds; spot-check
+	// that their first images differ for every entry's generators.
+	for name, e := range entries {
+		tr := e.trainFn()
+		te := e.testFn()
+		same := true
+		for j := range tr.X[0].Data {
+			if tr.X[0].Data[j] != te.X[0].Data[j] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatalf("%s: train and test share data", name)
+		}
+	}
+}

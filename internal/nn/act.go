@@ -1,0 +1,59 @@
+package nn
+
+import "repro/internal/tensor"
+
+// ReLU is the rectified linear activation.
+type ReLU struct {
+	mask []bool
+}
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *tensor.T) *tensor.T {
+	y := x.Clone()
+	if cap(r.mask) < len(y.Data) {
+		r.mask = make([]bool, len(y.Data))
+	}
+	r.mask = r.mask[:len(y.Data)]
+	for i, v := range y.Data {
+		if v <= 0 {
+			y.Data[i] = 0
+			r.mask[i] = false
+		} else {
+			r.mask[i] = true
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(dy *tensor.T) *tensor.T {
+	dx := dy.Clone()
+	for i := range dx.Data {
+		if !r.mask[i] {
+			dx.Data[i] = 0
+		}
+	}
+	return dx
+}
+
+// Clone implements Layer.
+func (r *ReLU) Clone() Layer { return &ReLU{} }
+
+// Flatten reshapes [C,H,W] to [C*H*W]; a no-op on already-flat inputs.
+type Flatten struct {
+	shape []int
+}
+
+// Forward implements Layer.
+func (f *Flatten) Forward(x *tensor.T) *tensor.T {
+	f.shape = append(f.shape[:0], x.Shape...)
+	return x.Reshape(x.Len())
+}
+
+// Backward implements Layer.
+func (f *Flatten) Backward(dy *tensor.T) *tensor.T {
+	return dy.Reshape(f.shape...)
+}
+
+// Clone implements Layer.
+func (f *Flatten) Clone() Layer { return &Flatten{} }

@@ -1,0 +1,218 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution (cross-correlation) layer over [C,H,W]
+// tensors, implemented with im2col so the same column buffers can be
+// reused by the backward pass.
+type Conv2D struct {
+	InC, OutC, K, Stride, Pad int
+
+	W []float32 // [OutC][InC*K*K]
+	B []float32 // [OutC]
+
+	GW []float32
+	GB []float32
+
+	// caches from the last Forward
+	x          *tensor.T
+	cols       []float32 // [InC*K*K][outH*outW]
+	inH, inW   int
+	outH, outW int
+}
+
+// NewConv2D creates a conv layer with He-uniform initialised weights.
+func NewConv2D(inC, outC, k, stride, pad int, rng *rand.Rand) *Conv2D {
+	c := &Conv2D{
+		InC: inC, OutC: outC, K: k, Stride: stride, Pad: pad,
+		W:  make([]float32, outC*inC*k*k),
+		B:  make([]float32, outC),
+		GW: make([]float32, outC*inC*k*k),
+		GB: make([]float32, outC),
+	}
+	bound := float32(math.Sqrt(6.0 / float64(inC*k*k)))
+	for i := range c.W {
+		c.W[i] = (rng.Float32()*2 - 1) * bound
+	}
+	return c
+}
+
+// OutSize returns the spatial output size for an input of h x w.
+func (c *Conv2D) OutSize(h, w int) (int, int) {
+	oh := (h+2*c.Pad-c.K)/c.Stride + 1
+	ow := (w+2*c.Pad-c.K)/c.Stride + 1
+	return oh, ow
+}
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x *tensor.T) *tensor.T {
+	if len(x.Shape) != 3 || x.Shape[0] != c.InC {
+		panic(fmt.Sprintf("nn: Conv2D expects [%d,H,W], got %v", c.InC, x.Shape))
+	}
+	c.x = x
+	c.inH, c.inW = x.Shape[1], x.Shape[2]
+	c.outH, c.outW = c.OutSize(c.inH, c.inW)
+	p := c.outH * c.outW
+	kk := c.InC * c.K * c.K
+	if cap(c.cols) < kk*p {
+		c.cols = make([]float32, kk*p)
+	}
+	c.cols = c.cols[:kk*p]
+	Im2col(x.Data, c.InC, c.inH, c.inW, c.K, c.Stride, c.Pad, c.cols)
+
+	y := tensor.New(c.OutC, c.outH, c.outW)
+	for oc := 0; oc < c.OutC; oc++ {
+		w := c.W[oc*kk : (oc+1)*kk]
+		out := y.Data[oc*p : (oc+1)*p]
+		for q := 0; q < kk; q++ {
+			wq := w[q]
+			if wq == 0 {
+				continue
+			}
+			col := c.cols[q*p : (q+1)*p]
+			for i, v := range col {
+				out[i] += wq * v
+			}
+		}
+		bias := c.B[oc]
+		for i := range out {
+			out[i] += bias
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(dy *tensor.T) *tensor.T {
+	p := c.outH * c.outW
+	kk := c.InC * c.K * c.K
+	// Weight and bias gradients.
+	for oc := 0; oc < c.OutC; oc++ {
+		d := dy.Data[oc*p : (oc+1)*p]
+		gw := c.GW[oc*kk : (oc+1)*kk]
+		for q := 0; q < kk; q++ {
+			col := c.cols[q*p : (q+1)*p]
+			var s float32
+			for i, v := range col {
+				s += d[i] * v
+			}
+			gw[q] += s
+		}
+		var sb float32
+		for _, v := range d {
+			sb += v
+		}
+		c.GB[oc] += sb
+	}
+	// Input gradient via dcols = W^T dy, then col2im.
+	dcols := make([]float32, kk*p)
+	for oc := 0; oc < c.OutC; oc++ {
+		d := dy.Data[oc*p : (oc+1)*p]
+		w := c.W[oc*kk : (oc+1)*kk]
+		for q := 0; q < kk; q++ {
+			wq := w[q]
+			if wq == 0 {
+				continue
+			}
+			dst := dcols[q*p : (q+1)*p]
+			for i, v := range d {
+				dst[i] += wq * v
+			}
+		}
+	}
+	dx := tensor.New(c.InC, c.inH, c.inW)
+	Col2im(dcols, c.InC, c.inH, c.inW, c.K, c.Stride, c.Pad, dx.Data)
+	return dx
+}
+
+// Params implements ParamLayer.
+func (c *Conv2D) Params() []Param {
+	return []Param{{Name: "W", W: c.W, G: c.GW}, {Name: "B", W: c.B, G: c.GB}}
+}
+
+// Clone implements Layer: shares W/B, fresh gradients and caches.
+func (c *Conv2D) Clone() Layer {
+	return &Conv2D{
+		InC: c.InC, OutC: c.OutC, K: c.K, Stride: c.Stride, Pad: c.Pad,
+		W: c.W, B: c.B,
+		GW: make([]float32, len(c.GW)),
+		GB: make([]float32, len(c.GB)),
+	}
+}
+
+// Im2col unrolls conv receptive fields into columns:
+// cols[(ci*K*K + ki*K + kj)*P + p] = x[ci, i, j] for output pixel p.
+// Out-of-bounds (padding) positions contribute zero.
+func Im2col(x []float32, inC, h, w, k, stride, pad int, cols []float32) {
+	outH := (h+2*pad-k)/stride + 1
+	outW := (w+2*pad-k)/stride + 1
+	p := outH * outW
+	for ci := 0; ci < inC; ci++ {
+		base := ci * h * w
+		for ki := 0; ki < k; ki++ {
+			for kj := 0; kj < k; kj++ {
+				row := ((ci*k+ki)*k + kj) * p
+				idx := 0
+				for oi := 0; oi < outH; oi++ {
+					ii := oi*stride + ki - pad
+					if ii < 0 || ii >= h {
+						for oj := 0; oj < outW; oj++ {
+							cols[row+idx] = 0
+							idx++
+						}
+						continue
+					}
+					rowBase := base + ii*w
+					for oj := 0; oj < outW; oj++ {
+						jj := oj*stride + kj - pad
+						if jj < 0 || jj >= w {
+							cols[row+idx] = 0
+						} else {
+							cols[row+idx] = x[rowBase+jj]
+						}
+						idx++
+					}
+				}
+			}
+		}
+	}
+}
+
+// Col2im scatters column gradients back to the input layout, summing
+// overlapping contributions. dst must be zeroed by the caller (a fresh
+// tensor.New suffices).
+func Col2im(cols []float32, inC, h, w, k, stride, pad int, dst []float32) {
+	outH := (h+2*pad-k)/stride + 1
+	outW := (w+2*pad-k)/stride + 1
+	p := outH * outW
+	for ci := 0; ci < inC; ci++ {
+		base := ci * h * w
+		for ki := 0; ki < k; ki++ {
+			for kj := 0; kj < k; kj++ {
+				row := ((ci*k+ki)*k + kj) * p
+				idx := 0
+				for oi := 0; oi < outH; oi++ {
+					ii := oi*stride + ki - pad
+					if ii < 0 || ii >= h {
+						idx += outW
+						continue
+					}
+					rowBase := base + ii*w
+					for oj := 0; oj < outW; oj++ {
+						jj := oj*stride + kj - pad
+						if jj >= 0 && jj < w {
+							dst[rowBase+jj] += cols[row+idx]
+						}
+						idx++
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Dense is a fully connected layer over flat [N] tensors.
+type Dense struct {
+	In, Out int
+
+	W []float32 // [Out][In]
+	B []float32
+
+	GW []float32
+	GB []float32
+
+	x *tensor.T
+}
+
+// NewDense creates a dense layer with He-uniform initialised weights.
+func NewDense(in, out int, rng *rand.Rand) *Dense {
+	d := &Dense{
+		In: in, Out: out,
+		W:  make([]float32, out*in),
+		B:  make([]float32, out),
+		GW: make([]float32, out*in),
+		GB: make([]float32, out),
+	}
+	bound := float32(math.Sqrt(6.0 / float64(in)))
+	for i := range d.W {
+		d.W[i] = (rng.Float32()*2 - 1) * bound
+	}
+	return d
+}
+
+// Forward implements Layer.
+func (d *Dense) Forward(x *tensor.T) *tensor.T {
+	if x.Len() != d.In {
+		panic(fmt.Sprintf("nn: Dense expects %d inputs, got shape %v", d.In, x.Shape))
+	}
+	d.x = x
+	y := tensor.New(d.Out)
+	for o := 0; o < d.Out; o++ {
+		w := d.W[o*d.In : (o+1)*d.In]
+		var s float32
+		for i, v := range x.Data {
+			s += w[i] * v
+		}
+		y.Data[o] = s + d.B[o]
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(dy *tensor.T) *tensor.T {
+	dx := tensor.New(d.In)
+	for o := 0; o < d.Out; o++ {
+		g := dy.Data[o]
+		d.GB[o] += g
+		if g == 0 {
+			continue
+		}
+		w := d.W[o*d.In : (o+1)*d.In]
+		gw := d.GW[o*d.In : (o+1)*d.In]
+		for i, v := range d.x.Data {
+			gw[i] += g * v
+			dx.Data[i] += g * w[i]
+		}
+	}
+	return dx
+}
+
+// Params implements ParamLayer.
+func (d *Dense) Params() []Param {
+	return []Param{{Name: "W", W: d.W, G: d.GW}, {Name: "B", W: d.B, G: d.GB}}
+}
+
+// Clone implements Layer.
+func (d *Dense) Clone() Layer {
+	return &Dense{
+		In: d.In, Out: d.Out, W: d.W, B: d.B,
+		GW: make([]float32, len(d.GW)),
+		GB: make([]float32, len(d.GB)),
+	}
+}

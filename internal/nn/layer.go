@@ -1,0 +1,43 @@
+// Package nn is a minimal, complete float32 neural-network stack:
+// layers with forward and backward passes, cross-entropy loss, and
+// input-gradient computation. It plays two roles in the reproduction:
+// it trains the accurate DNNs (the paper trains with exact multipliers)
+// and it serves as the adversary's white-box model — every gradient
+// attack differentiates through this stack.
+//
+// Layers process one sample at a time (shape [C,H,W] or [N]); data
+// parallelism is achieved by cloning the network per worker. Clones
+// share weight storage but own private gradient buffers and caches, so
+// concurrent Forward/Backward calls on different clones are safe as
+// long as weights are not updated concurrently.
+package nn
+
+import "repro/internal/tensor"
+
+// Layer is a differentiable network stage.
+type Layer interface {
+	// Forward computes the layer output and caches whatever Backward
+	// needs. The returned tensor is owned by the layer until the next
+	// Forward call.
+	Forward(x *tensor.T) *tensor.T
+	// Backward consumes the gradient w.r.t. the layer output and
+	// returns the gradient w.r.t. the layer input, accumulating weight
+	// gradients (if any) into the layer's gradient buffers.
+	Backward(dy *tensor.T) *tensor.T
+	// Clone returns a copy sharing weights but owning fresh gradient
+	// buffers and caches.
+	Clone() Layer
+}
+
+// Param couples a weight slice with its gradient buffer.
+type Param struct {
+	Name string
+	W    []float32
+	G    []float32
+}
+
+// ParamLayer is a Layer with trainable parameters.
+type ParamLayer interface {
+	Layer
+	Params() []Param
+}

@@ -1,0 +1,115 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Network is an ordered stack of layers ending in logits (no softmax
+// layer; the loss applies softmax internally).
+type Network struct {
+	Name   string
+	Layers []Layer
+}
+
+// Forward runs the full stack and returns the logits tensor.
+func (n *Network) Forward(x *tensor.T) *tensor.T {
+	for _, l := range n.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Logits runs Forward and returns the logits as a plain slice. Together
+// with LossGrad it satisfies the attack package's model interfaces.
+func (n *Network) Logits(x *tensor.T) []float32 {
+	return n.Forward(x).Data
+}
+
+// Predict returns the argmax class for x.
+func (n *Network) Predict(x *tensor.T) int {
+	return tensor.ArgMax(n.Logits(x))
+}
+
+// ForwardTrace runs the stack and returns every intermediate output
+// (one per layer). Used by quantization calibration.
+func (n *Network) ForwardTrace(x *tensor.T) []*tensor.T {
+	outs := make([]*tensor.T, len(n.Layers))
+	for i, l := range n.Layers {
+		x = l.Forward(x)
+		outs[i] = x
+	}
+	return outs
+}
+
+// LossGrad computes the softmax cross-entropy loss for (x, label), and
+// the gradient of that loss w.r.t. x. Weight gradients are accumulated
+// into the layers' buffers as a side effect (call ZeroGrads between
+// optimizer steps; attacks can ignore them on cloned networks).
+func (n *Network) LossGrad(x *tensor.T, label int) (float32, *tensor.T) {
+	logits := n.Forward(x)
+	loss, dlogits := SoftmaxCE(logits.Data, label)
+	g := tensor.FromSlice(dlogits, logits.Shape...)
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		g = n.Layers[i].Backward(g)
+	}
+	return loss, g
+}
+
+// Params returns all trainable parameters in layer order.
+func (n *Network) Params() []Param {
+	var ps []Param
+	for _, l := range n.Layers {
+		if pl, ok := l.(ParamLayer); ok {
+			ps = append(ps, pl.Params()...)
+		}
+	}
+	return ps
+}
+
+// ZeroGrads clears all gradient buffers.
+func (n *Network) ZeroGrads() {
+	for _, p := range n.Params() {
+		for i := range p.G {
+			p.G[i] = 0
+		}
+	}
+}
+
+// Clone returns a network sharing weights with n but owning private
+// gradient buffers and caches, for data-parallel training and
+// concurrent attack generation.
+func (n *Network) Clone() *Network {
+	c := &Network{Name: n.Name, Layers: make([]Layer, len(n.Layers))}
+	for i, l := range n.Layers {
+		c.Layers[i] = l.Clone()
+	}
+	return c
+}
+
+// SoftmaxCE returns the cross-entropy loss of logits against label and
+// the gradient d loss / d logits (softmax(logits) minus one-hot).
+func SoftmaxCE(logits []float32, label int) (float32, []float32) {
+	maxv := logits[0]
+	for _, v := range logits[1:] {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	var sum float64
+	probs := make([]float32, len(logits))
+	for i, v := range logits {
+		e := math.Exp(float64(v - maxv))
+		probs[i] = float32(e)
+		sum += e
+	}
+	inv := float32(1 / sum)
+	for i := range probs {
+		probs[i] *= inv
+	}
+	loss := -float32(math.Log(math.Max(float64(probs[label]), 1e-12)))
+	grad := probs
+	grad[label] -= 1
+	return loss, grad
+}

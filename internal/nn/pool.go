@@ -1,0 +1,79 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// AvgPool2D averages non-overlapping K x K windows (stride defaults to
+// K). LeNet-5 and the paper's AlexNet both use average pooling.
+type AvgPool2D struct {
+	K, Stride int
+
+	inC, inH, inW int
+	outH, outW    int
+}
+
+// NewAvgPool2D creates an average-pooling layer; stride == 0 means
+// stride = k.
+func NewAvgPool2D(k, stride int) *AvgPool2D {
+	if stride == 0 {
+		stride = k
+	}
+	return &AvgPool2D{K: k, Stride: stride}
+}
+
+// Forward implements Layer.
+func (p *AvgPool2D) Forward(x *tensor.T) *tensor.T {
+	if len(x.Shape) != 3 {
+		panic(fmt.Sprintf("nn: AvgPool2D expects [C,H,W], got %v", x.Shape))
+	}
+	p.inC, p.inH, p.inW = x.Shape[0], x.Shape[1], x.Shape[2]
+	p.outH = (p.inH-p.K)/p.Stride + 1
+	p.outW = (p.inW-p.K)/p.Stride + 1
+	y := tensor.New(p.inC, p.outH, p.outW)
+	inv := 1 / float32(p.K*p.K)
+	for c := 0; c < p.inC; c++ {
+		in := x.Data[c*p.inH*p.inW:]
+		out := y.Data[c*p.outH*p.outW:]
+		for oi := 0; oi < p.outH; oi++ {
+			for oj := 0; oj < p.outW; oj++ {
+				var s float32
+				for ki := 0; ki < p.K; ki++ {
+					row := (oi*p.Stride + ki) * p.inW
+					for kj := 0; kj < p.K; kj++ {
+						s += in[row+oj*p.Stride+kj]
+					}
+				}
+				out[oi*p.outW+oj] = s * inv
+			}
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (p *AvgPool2D) Backward(dy *tensor.T) *tensor.T {
+	dx := tensor.New(p.inC, p.inH, p.inW)
+	inv := 1 / float32(p.K*p.K)
+	for c := 0; c < p.inC; c++ {
+		dout := dy.Data[c*p.outH*p.outW:]
+		din := dx.Data[c*p.inH*p.inW:]
+		for oi := 0; oi < p.outH; oi++ {
+			for oj := 0; oj < p.outW; oj++ {
+				g := dout[oi*p.outW+oj] * inv
+				for ki := 0; ki < p.K; ki++ {
+					row := (oi*p.Stride + ki) * p.inW
+					for kj := 0; kj < p.K; kj++ {
+						din[row+oj*p.Stride+kj] += g
+					}
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// Clone implements Layer.
+func (p *AvgPool2D) Clone() Layer { return &AvgPool2D{K: p.K, Stride: p.Stride} }

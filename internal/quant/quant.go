@@ -1,0 +1,121 @@
+// Package quant implements the affine (asymmetric) fixed-point
+// quantization used by the AxDNN inference engine: float values are
+// mapped to unsigned codes with a per-tensor scale and zero-point,
+// real = scale * (code - zero). The code width is configurable (the
+// paper's Qlevel); 8 bits is the paper's default and matches the 8-bit
+// operand width of the EvoApprox multipliers.
+package quant
+
+import "math"
+
+// Params describes an affine quantizer with codes in [0, MaxCode()].
+type Params struct {
+	Scale float32
+	Zero  uint8
+	Bits  uint
+}
+
+// MaxCode returns the largest representable code for the configured
+// bit width.
+func (p Params) MaxCode() uint8 {
+	if p.Bits == 0 || p.Bits >= 8 {
+		return 255
+	}
+	return uint8(1<<p.Bits - 1)
+}
+
+// Calibrate derives quantization parameters covering [min, max] with
+// the given bit width. The range is expanded to include zero so that
+// real 0.0 has an exact code (required for zero-padding and ReLU).
+func Calibrate(min, max float32, bits uint) Params {
+	if min > 0 {
+		min = 0
+	}
+	if max < 0 {
+		max = 0
+	}
+	if max == min {
+		max = min + 1e-6
+	}
+	levels := float32(uint32(1)<<bitsOr8(bits)) - 1
+	scale := (max - min) / levels
+	zero := -min / scale
+	z := uint8(math.Min(math.Max(math.Round(float64(zero)), 0), float64(levels)))
+	return Params{Scale: scale, Zero: z, Bits: bitsOr8(bits)}
+}
+
+func bitsOr8(b uint) uint {
+	if b == 0 || b > 8 {
+		return 8
+	}
+	return b
+}
+
+// Quantize maps a real value to its nearest code, saturating.
+func (p Params) Quantize(v float32) uint8 {
+	c := math.Round(float64(v)/float64(p.Scale)) + float64(p.Zero)
+	if c < 0 {
+		return 0
+	}
+	if mc := float64(p.MaxCode()); c > mc {
+		return p.MaxCode()
+	}
+	return uint8(c)
+}
+
+// Dequantize maps a code back to its real value.
+func (p Params) Dequantize(c uint8) float32 {
+	return p.Scale * (float32(c) - float32(p.Zero))
+}
+
+// QuantizeSlice quantizes src into a fresh code slice.
+func (p Params) QuantizeSlice(src []float32) []uint8 {
+	out := make([]uint8, len(src))
+	for i, v := range src {
+		out[i] = p.Quantize(v)
+	}
+	return out
+}
+
+// DequantizeSlice maps codes back into a fresh float slice.
+func (p Params) DequantizeSlice(src []uint8) []float32 {
+	out := make([]float32, len(src))
+	for i, c := range src {
+		out[i] = p.Dequantize(c)
+	}
+	return out
+}
+
+// Range returns the min and max of data (0,0 for empty input).
+func Range(data []float32) (min, max float32) {
+	if len(data) == 0 {
+		return 0, 0
+	}
+	min, max = data[0], data[0]
+	for _, v := range data[1:] {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return min, max
+}
+
+// RequantLUT precomputes the 256-entry code->code map that converts
+// codes under from-params into codes under to-params, optionally
+// applying f to the dequantized value (f == nil means identity). This
+// is how elementwise stages (ReLU, requantization) run in the integer
+// engine.
+func RequantLUT(from, to Params, f func(float32) float32) []uint8 {
+	lut := make([]uint8, 256)
+	for c := 0; c <= int(from.MaxCode()); c++ {
+		v := from.Dequantize(uint8(c))
+		if f != nil {
+			v = f(v)
+		}
+		lut[c] = to.Quantize(v)
+	}
+	return lut
+}

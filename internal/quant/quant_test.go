@@ -1,0 +1,132 @@
+package quant
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCalibrateIncludesZero(t *testing.T) {
+	p := Calibrate(0.2, 1.0, 8)
+	if p.Dequantize(p.Zero) != 0 {
+		t.Fatalf("zero code dequantizes to %f", p.Dequantize(p.Zero))
+	}
+	p = Calibrate(-1.0, -0.5, 8)
+	if p.Dequantize(p.Zero) != 0 {
+		t.Fatal("negative-only range must still represent zero")
+	}
+}
+
+func TestCalibrateDegenerate(t *testing.T) {
+	p := Calibrate(0, 0, 8)
+	if p.Scale <= 0 {
+		t.Fatal("degenerate range must produce positive scale")
+	}
+}
+
+func TestQuantizeRoundTripError(t *testing.T) {
+	p := Calibrate(-2, 2, 8)
+	f := func(raw uint16) bool {
+		v := float32(raw)/65535*4 - 2
+		got := p.Dequantize(p.Quantize(v))
+		return math.Abs(float64(got-v)) <= float64(p.Scale)/2+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantizeSaturates(t *testing.T) {
+	p := Calibrate(0, 1, 8)
+	if p.Quantize(5) != p.MaxCode() {
+		t.Fatal("above-range value must saturate to max code")
+	}
+	if p.Quantize(-5) != 0 {
+		t.Fatal("below-range value must saturate to zero code")
+	}
+}
+
+func TestQuantizeMonotonic(t *testing.T) {
+	p := Calibrate(-1, 3, 8)
+	prev := p.Quantize(-1)
+	for v := float32(-1); v <= 3; v += 0.01 {
+		c := p.Quantize(v)
+		if c < prev {
+			t.Fatalf("quantization not monotonic at %f", v)
+		}
+		prev = c
+	}
+}
+
+func TestReducedBits(t *testing.T) {
+	p := Calibrate(0, 1, 4)
+	if p.MaxCode() != 15 {
+		t.Fatalf("4-bit max code = %d", p.MaxCode())
+	}
+	if p.Quantize(1) != 15 {
+		t.Fatalf("full scale at 4 bits = %d", p.Quantize(1))
+	}
+	if p.Quantize(0.5) == 0 || p.Quantize(0.5) == 15 {
+		t.Fatal("mid value must land mid-range")
+	}
+}
+
+func TestBitsZeroMeansEight(t *testing.T) {
+	p := Calibrate(0, 1, 0)
+	if p.Bits != 8 || p.MaxCode() != 255 {
+		t.Fatalf("bits 0 should default to 8, got %d", p.Bits)
+	}
+}
+
+func TestSliceHelpers(t *testing.T) {
+	p := Calibrate(0, 1, 8)
+	src := []float32{0, 0.25, 0.5, 1}
+	codes := p.QuantizeSlice(src)
+	back := p.DequantizeSlice(codes)
+	for i := range src {
+		if math.Abs(float64(back[i]-src[i])) > float64(p.Scale) {
+			t.Fatalf("roundtrip error at %d: %f vs %f", i, back[i], src[i])
+		}
+	}
+}
+
+func TestRange(t *testing.T) {
+	lo, hi := Range([]float32{3, -1, 2})
+	if lo != -1 || hi != 3 {
+		t.Fatalf("Range = %f,%f", lo, hi)
+	}
+	lo, hi = Range(nil)
+	if lo != 0 || hi != 0 {
+		t.Fatal("empty Range should be 0,0")
+	}
+}
+
+func TestRequantLUTIdentity(t *testing.T) {
+	p := Calibrate(0, 1, 8)
+	lut := RequantLUT(p, p, nil)
+	for c := 0; c < 256; c++ {
+		if lut[c] != uint8(c) {
+			t.Fatalf("identity requant moved code %d -> %d", c, lut[c])
+		}
+	}
+}
+
+func TestRequantLUTReLU(t *testing.T) {
+	from := Calibrate(-1, 1, 8)
+	to := Calibrate(0, 1, 8)
+	lut := RequantLUT(from, to, func(v float32) float32 {
+		if v < 0 {
+			return 0
+		}
+		return v
+	})
+	// Codes representing negative values must map to the zero code.
+	neg := from.Quantize(-0.5)
+	if to.Dequantize(lut[neg]) != 0 {
+		t.Fatal("negative input should map to zero after ReLU requant")
+	}
+	pos := from.Quantize(0.5)
+	if got := to.Dequantize(lut[pos]); math.Abs(float64(got-0.5)) > 0.02 {
+		t.Fatalf("positive input maps to %f", got)
+	}
+}

@@ -1,0 +1,193 @@
+// Package tensor provides the small dense float32 tensor used across the
+// DNN stack: row-major storage, explicit shapes, and the vector
+// operations the adversarial attacks need (norms, projections, clamps).
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// T is a dense row-major float32 tensor.
+type T struct {
+	Shape []int
+	Data  []float32
+}
+
+// New allocates a zero tensor with the given shape.
+func New(shape ...int) *T {
+	n := 1
+	for _, s := range shape {
+		if s <= 0 {
+			panic(fmt.Sprintf("tensor: invalid dim %d in %v", s, shape))
+		}
+		n *= s
+	}
+	return &T{Shape: append([]int(nil), shape...), Data: make([]float32, n)}
+}
+
+// FromSlice wraps data in a tensor of the given shape, without copying.
+// len(data) must equal the shape volume.
+func FromSlice(data []float32, shape ...int) *T {
+	n := 1
+	for _, s := range shape {
+		n *= s
+	}
+	if n != len(data) {
+		panic(fmt.Sprintf("tensor: data len %d != shape %v", len(data), shape))
+	}
+	return &T{Shape: append([]int(nil), shape...), Data: data}
+}
+
+// Len returns the number of elements.
+func (t *T) Len() int { return len(t.Data) }
+
+// Clone returns a deep copy.
+func (t *T) Clone() *T {
+	c := &T{Shape: append([]int(nil), t.Shape...), Data: make([]float32, len(t.Data))}
+	copy(c.Data, t.Data)
+	return c
+}
+
+// Reshape returns a view with a new shape of equal volume (shared data).
+func (t *T) Reshape(shape ...int) *T {
+	n := 1
+	for _, s := range shape {
+		n *= s
+	}
+	if n != len(t.Data) {
+		panic(fmt.Sprintf("tensor: reshape %v -> %v volume mismatch", t.Shape, shape))
+	}
+	return &T{Shape: append([]int(nil), shape...), Data: t.Data}
+}
+
+// SameShape reports whether t and o have identical shapes.
+func (t *T) SameShape(o *T) bool {
+	if len(t.Shape) != len(o.Shape) {
+		return false
+	}
+	for i := range t.Shape {
+		if t.Shape[i] != o.Shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Fill sets every element to v.
+func (t *T) Fill(v float32) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// AddScaled adds alpha*o elementwise into t (t += alpha*o).
+func (t *T) AddScaled(alpha float32, o *T) {
+	for i, v := range o.Data {
+		t.Data[i] += alpha * v
+	}
+}
+
+// Scale multiplies every element by alpha.
+func (t *T) Scale(alpha float32) {
+	for i := range t.Data {
+		t.Data[i] *= alpha
+	}
+}
+
+// Clamp limits every element into [lo, hi]. Adversarial examples are
+// clamped to the valid image box [0,1] after every perturbation step.
+func (t *T) Clamp(lo, hi float32) {
+	for i, v := range t.Data {
+		if v < lo {
+			t.Data[i] = lo
+		} else if v > hi {
+			t.Data[i] = hi
+		}
+	}
+}
+
+// L2Norm returns the Euclidean norm of the flattened tensor.
+func (t *T) L2Norm() float64 {
+	var s float64
+	for _, v := range t.Data {
+		s += float64(v) * float64(v)
+	}
+	return math.Sqrt(s)
+}
+
+// LinfNorm returns the max-abs norm of the flattened tensor.
+func (t *T) LinfNorm() float64 {
+	var m float64
+	for _, v := range t.Data {
+		if a := math.Abs(float64(v)); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Sign replaces every element by its sign (-1, 0, +1).
+func (t *T) Sign() {
+	for i, v := range t.Data {
+		switch {
+		case v > 0:
+			t.Data[i] = 1
+		case v < 0:
+			t.Data[i] = -1
+		default:
+			t.Data[i] = 0
+		}
+	}
+}
+
+// Sub returns a-b as a new tensor (shapes must match).
+func Sub(a, b *T) *T {
+	if !a.SameShape(b) {
+		panic("tensor: Sub shape mismatch")
+	}
+	c := a.Clone()
+	for i, v := range b.Data {
+		c.Data[i] -= v
+	}
+	return c
+}
+
+// ProjectL2 rescales (t - center) so its L2 norm is at most eps,
+// leaving t unchanged if it is already inside the ball.
+func ProjectL2(t, center *T, eps float64) {
+	d := Sub(t, center)
+	n := d.L2Norm()
+	if n <= eps || n == 0 {
+		return
+	}
+	scale := float32(eps / n)
+	for i := range t.Data {
+		t.Data[i] = center.Data[i] + d.Data[i]*scale
+	}
+}
+
+// ProjectLinf clips (t - center) elementwise into [-eps, eps].
+func ProjectLinf(t, center *T, eps float64) {
+	e := float32(eps)
+	for i := range t.Data {
+		d := t.Data[i] - center.Data[i]
+		if d > e {
+			d = e
+		} else if d < -e {
+			d = -e
+		}
+		t.Data[i] = center.Data[i] + d
+	}
+}
+
+// ArgMax returns the index of the largest element of v.
+func ArgMax(v []float32) int {
+	best, bi := float32(math.Inf(-1)), 0
+	for i, x := range v {
+		if x > best {
+			best, bi = x, i
+		}
+	}
+	return bi
+}

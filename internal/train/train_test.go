@@ -1,0 +1,79 @@
+package train
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/models"
+	"repro/internal/tensor"
+)
+
+func TestFitReducesLossAndLearns(t *testing.T) {
+	set := dataset.Digits(600, 21)
+	net := models.FFNN(28*28, 10, 3)
+	before := AccuracyCloned(func() Predictor { return net.Clone() }, set, 200)
+	loss := Fit(net, set, Config{Epochs: 2, Batch: 32, LR: 0.05, Momentum: 0.9, Seed: 1})
+	after := AccuracyCloned(func() Predictor { return net.Clone() }, set, 200)
+	if after <= before+0.3 {
+		t.Fatalf("training did not learn: %.2f -> %.2f", before, after)
+	}
+	if loss > 1.0 {
+		t.Fatalf("final loss too high: %f", loss)
+	}
+}
+
+func TestFitDeterministic(t *testing.T) {
+	set := dataset.Digits(200, 22)
+	cfg := Config{Epochs: 1, Batch: 16, LR: 0.05, Momentum: 0.9, Seed: 7, Workers: 1}
+	n1 := models.FFNN(28*28, 10, 5)
+	n2 := models.FFNN(28*28, 10, 5)
+	Fit(n1, set, cfg)
+	Fit(n2, set, cfg)
+	w1, w2 := n1.Params()[0].W, n2.Params()[0].W
+	for i := range w1 {
+		if w1[i] != w2[i] {
+			t.Fatal("single-worker training not deterministic")
+		}
+	}
+}
+
+func TestAccuracyBounds(t *testing.T) {
+	set := dataset.Digits(50, 23)
+	net := models.FFNN(28*28, 10, 9)
+	acc := AccuracyCloned(func() Predictor { return net.Clone() }, set, 0)
+	if acc < 0 || acc > 1 {
+		t.Fatalf("accuracy %f outside [0,1]", acc)
+	}
+}
+
+type constPredictor struct{ class int }
+
+func (c constPredictor) Logits(*tensor.T) []float32 {
+	out := make([]float32, 10)
+	out[c.class] = 1
+	return out
+}
+
+func TestAccuracyCounting(t *testing.T) {
+	set := dataset.Digits(100, 24)
+	// A predictor that always answers class 3 must score exactly the
+	// fraction of 3s.
+	want := 0
+	for _, y := range set.Y {
+		if y == 3 {
+			want++
+		}
+	}
+	got := Accuracy(constPredictor{3}, set, 0)
+	if got != float64(want)/100 {
+		t.Fatalf("accuracy %f, want %f", got, float64(want)/100)
+	}
+}
+
+func TestAccuracyLimit(t *testing.T) {
+	set := dataset.Digits(100, 25)
+	got := Accuracy(constPredictor{set.Y[0]}, set, 1)
+	if got != 1 {
+		t.Fatalf("limited accuracy %f, want 1", got)
+	}
+}

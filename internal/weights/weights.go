@@ -1,0 +1,102 @@
+// Package weights serializes network parameters so trained models can
+// be cached on disk (training happens once; every experiment reloads).
+// The format is a simple little-endian binary container with a magic
+// header and per-parameter length checks, so shape mismatches surface
+// as errors rather than silent corruption.
+package weights
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/nn"
+)
+
+const magic = "AXDNNW1\n"
+
+// Save writes all parameters of net to path (atomically via a temp
+// file).
+func Save(net *nn.Network, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if _, err := w.WriteString(magic); err != nil {
+		f.Close()
+		return err
+	}
+	params := net.Params()
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(params))); err != nil {
+		f.Close()
+		return err
+	}
+	for _, p := range params {
+		if err := binary.Write(w, binary.LittleEndian, uint32(len(p.W))); err != nil {
+			f.Close()
+			return err
+		}
+		for _, v := range p.W {
+			if err := binary.Write(w, binary.LittleEndian, math.Float32bits(v)); err != nil {
+				f.Close()
+				return err
+			}
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Load reads parameters from path into net. The network must have the
+// same parameter structure as the one that was saved.
+func Load(net *nn.Network, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(r, head); err != nil {
+		return fmt.Errorf("weights: reading header of %s: %w", path, err)
+	}
+	if string(head) != magic {
+		return fmt.Errorf("weights: %s is not a weight file", path)
+	}
+	var count uint32
+	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
+		return err
+	}
+	params := net.Params()
+	if int(count) != len(params) {
+		return fmt.Errorf("weights: %s has %d params, network has %d", path, count, len(params))
+	}
+	for _, p := range params {
+		var n uint32
+		if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+			return err
+		}
+		if int(n) != len(p.W) {
+			return fmt.Errorf("weights: param %q length %d != stored %d", p.Name, len(p.W), n)
+		}
+		buf := make([]byte, 4*n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return err
+		}
+		for i := range p.W {
+			p.W[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+		}
+	}
+	return nil
+}

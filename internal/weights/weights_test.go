@@ -1,0 +1,100 @@
+package weights
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/models"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "w.bin")
+	net := models.FFNN(16, 4, 1)
+	if err := Save(net, path); err != nil {
+		t.Fatal(err)
+	}
+	// Mutate, then load back.
+	orig := append([]float32(nil), net.Params()[0].W...)
+	for i := range net.Params()[0].W {
+		net.Params()[0].W[i] = 42
+	}
+	if err := Load(net, path); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range net.Params()[0].W {
+		if v != orig[i] {
+			t.Fatalf("weight %d not restored: %f != %f", i, v, orig[i])
+		}
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	net := models.FFNN(8, 2, 1)
+	if err := Load(net, filepath.Join(t.TempDir(), "missing.bin")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+func TestLoadRejectsWrongMagic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.bin")
+	if err := os.WriteFile(path, []byte("NOTAWEIGHTFILE__"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := Load(models.FFNN(8, 2, 1), path); err == nil {
+		t.Fatal("expected magic error")
+	}
+}
+
+func TestLoadRejectsShapeMismatch(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "w.bin")
+	if err := Save(models.FFNN(16, 4, 1), path); err != nil {
+		t.Fatal(err)
+	}
+	if err := Load(models.FFNN(8, 4, 1), path); err == nil {
+		t.Fatal("expected shape mismatch error")
+	}
+}
+
+func TestSaveIsAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "w.bin")
+	net := models.FFNN(16, 4, 1)
+	if err := Save(net, path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatal("temp file left behind")
+	}
+}
+
+func TestRoundTripPreservesRandomWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	net := models.LeNet5(1, 28, 28, 10, 5)
+	for _, p := range net.Params() {
+		for i := range p.W {
+			p.W[i] = rng.Float32()*2 - 1
+		}
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "lenet.bin")
+	if err := Save(net, path); err != nil {
+		t.Fatal(err)
+	}
+	net2 := models.LeNet5(1, 28, 28, 10, 6)
+	if err := Load(net2, path); err != nil {
+		t.Fatal(err)
+	}
+	p1, p2 := net.Params(), net2.Params()
+	for pi := range p1 {
+		for i := range p1[pi].W {
+			if p1[pi].W[i] != p2[pi].W[i] {
+				t.Fatalf("param %d weight %d mismatch", pi, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,27 @@
+// Package repro is a from-scratch Go reproduction of
+//
+//	Siddique & Hoque, "Is Approximation Universally Defensive Against
+//	Adversarial Attacks in Deep Neural Networks?", DATE 2022
+//	(arXiv:2112.01555).
+//
+// The implementation lives under internal/:
+//
+//	adder, bitops     gate-level adder cells and helpers
+//	axmult            EvoApprox8b-style approximate 8x8 multipliers + LUTs
+//	errmodel          exhaustive multiplier error metrics (MAE%, WCE, ...)
+//	tensor, nn, train float32 DNN stack: layers, autograd, SGD
+//	quant             affine fixed-point quantization (Qlevel)
+//	axnn              the AxDNN accelerator simulator (TFApprox equivalent)
+//	attack            the ten Foolbox-style attacks of Table I
+//	dataset           synthetic MNIST/CIFAR-10 substitutes
+//	models, modelzoo  LeNet-5 / AlexNet / FFNN builders and trained cache
+//	core              Algorithm 1: the robustness evaluation methodology
+//
+// Executables under cmd/ (axtrain, axrobust, axtransfer, axquant,
+// axmultinfo) drive the experiments; bench_test.go regenerates every
+// figure and table of the paper. See README.md, DESIGN.md and
+// EXPERIMENTS.md.
+package repro
+
+// Version identifies the reproduction snapshot.
+const Version = "1.0.0"
