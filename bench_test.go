@@ -1,5 +1,5 @@
 // Benchmark harness: one benchmark per table and figure of the paper's
-// evaluation (see DESIGN.md's experiment index E1-E15), plus design
+// evaluation (the experiment index E1-E15 in README.md), plus design
 // ablations and micro-benchmarks of the substrates.
 //
 // Each figure bench regenerates the corresponding robustness grid with
@@ -7,7 +7,7 @@
 // victims) the paper reports and prints it once; the benchmark metric
 // is wall-clock per full grid. Absolute accuracies differ from the
 // paper (synthetic data, substituted multiplier silicon — see
-// EXPERIMENTS.md); the qualitative shape is the reproduction target.
+// README.md); the qualitative shape is the reproduction target.
 //
 // Run everything:
 //
@@ -29,6 +29,7 @@ import (
 	"repro/internal/energy"
 	"repro/internal/errmodel"
 	"repro/internal/modelzoo"
+	"repro/internal/tensor"
 )
 
 // Paper sweep: the ten perturbation budgets of Figs. 4-8.
@@ -292,7 +293,7 @@ func BenchmarkEnergyRobustnessTradeoff(b *testing.B) {
 	}
 }
 
-// ---- Ablations (design choices called out in DESIGN.md) ----
+// ---- Ablations (design choices documented in README.md) ----
 
 // BenchmarkAblationZeroPoint shows the exact zero-point correction is
 // load-bearing: without it, even the exact-multiplier engine collapses.
@@ -471,11 +472,10 @@ func BenchmarkFloatInferenceLeNet(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	n := m.Net.Clone()
 	x := m.Test.X[0]
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		n.Logits(x)
+		m.Net.Logits(x)
 	}
 }
 
@@ -484,15 +484,63 @@ func BenchmarkAttackPGDLinf(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	n := m.Net.Clone()
 	atk := attack.ByName("PGD-linf")
 	rng := rand.New(rand.NewSource(1))
 	x, y := m.Test.X[0], m.Test.Y[0]
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		adv := atk.Perturb(n, x, y, 0.1, rng)
+		adv := atk.Perturb(m.Net, x, y, 0.1, rng)
 		if adv.Len() != x.Len() {
 			b.Fatal("bad adv")
 		}
 	}
+}
+
+// BenchmarkBatchVsScalar tracks the throughput (samples/sec) of
+// batched vs per-sample inference for the LeNet-5 float and AxDNN
+// paths — the speedup the batched, stateless engine exists to deliver.
+func BenchmarkBatchVsScalar(b *testing.B) {
+	m, err := modelzoo.Get("lenet5-digits")
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := axnn.Compile(m.Net, m.Test.Inputs(32), axnn.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q = q.WithMultiplier(axmult.MustLookup("mul8u_17KS"))
+	const batchN = 64
+	xs := m.Test.X[:batchN]
+	batch := tensor.Stack(xs)
+	throughput := func(b *testing.B) {
+		b.ReportMetric(float64(batchN*b.N)/b.Elapsed().Seconds(), "samples/sec")
+	}
+	b.Run("float/scalar", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, x := range xs {
+				m.Net.Logits(x)
+			}
+		}
+		throughput(b)
+	})
+	b.Run("float/batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m.Net.LogitsBatch(batch)
+		}
+		throughput(b)
+	})
+	b.Run("axdnn/scalar", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, x := range xs {
+				q.Logits(x)
+			}
+		}
+		throughput(b)
+	})
+	b.Run("axdnn/batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q.LogitsBatch(batch)
+		}
+		throughput(b)
+	})
 }

@@ -28,7 +28,7 @@ func TestEndToEndPipeline(t *testing.T) {
 	net.Name = "e2e-lenet"
 	train.Fit(net, trainSet, train.Config{Epochs: 3, Batch: 32, LR: 0.05, Momentum: 0.9, LRDecay: 0.7, Seed: 1})
 
-	floatAcc := train.AccuracyCloned(func() train.Predictor { return net.Clone() }, testSet, 0)
+	floatAcc := train.Accuracy(net, testSet, 0)
 	if floatAcc < 0.9 {
 		t.Fatalf("float training failed: %.2f", floatAcc)
 	}

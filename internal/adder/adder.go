@@ -10,7 +10,7 @@
 // The AMA cells here are simplified behavioural variants in the spirit of
 // the published mirror-adder family; their exact truth tables are part of
 // this package's contract and are verified (error counts included) by the
-// package tests. See DESIGN.md for the substitution rationale.
+// package tests. See README.md for the substitution rationale.
 package adder
 
 // Cell is a behavioural model of a 1-bit adder cell. Inputs and outputs

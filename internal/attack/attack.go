@@ -10,6 +10,12 @@
 // against the *accurate* model (the adversary does not know the victim's
 // inexactness); the perturbed inputs are then replayed on AxDNN victims
 // by the harness in internal/core.
+//
+// Every attack also has a batched form (see BatchAttack / AsBatch):
+// gradient attacks craft whole batches per gradient step, decision
+// attacks keep their scalar query semantics behind a per-row adapter,
+// and both reproduce the scalar perturbations bit for bit under the
+// same per-sample seeds.
 package attack
 
 import (
@@ -131,4 +137,24 @@ func ByName(name string) Attack {
 		}
 	}
 	return nil
+}
+
+// Configurable is implemented by attacks with exported tunable
+// parameters: ConfigKey must fold every parameter that affects
+// crafting into the returned string. Attacks fully determined by
+// their constructor (CR, RAG, RAU — no exported knobs) don't need it;
+// their Name suffices.
+type Configurable interface {
+	ConfigKey() string
+}
+
+// ConfigKey identifies an attack together with every tunable
+// parameter that affects crafting. Caches of crafted examples must
+// key on it rather than Name(): two BIM instances named "BIM-linf"
+// with different step counts craft different examples.
+func ConfigKey(a Attack) string {
+	if c, ok := a.(Configurable); ok {
+		return c.ConfigKey()
+	}
+	return a.Name()
 }

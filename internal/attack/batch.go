@@ -1,0 +1,87 @@
+package attack
+
+import (
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// BatchModel is a classifier that scores whole batches at once:
+// LogitsBatch takes [N, sampleShape...] and returns [N, classes].
+// Row r must match Logits on sample r bit for bit, so batched and
+// scalar evaluation are interchangeable.
+type BatchModel interface {
+	Model
+	LogitsBatch(xs *tensor.T) *tensor.T
+}
+
+// BatchGradModel additionally exposes the batched loss gradient, as
+// required by batched gradient attacks. internal/nn networks
+// implement it.
+type BatchGradModel interface {
+	BatchModel
+	LossGradBatch(xs *tensor.T, labels []int) ([]float32, *tensor.T)
+}
+
+// BatchAttack crafts adversarial examples for a whole batch per model
+// call. rngs holds one independent deterministic stream per row; an
+// implementation must consume rngs[r] exactly as the scalar Perturb
+// consumes its rng on sample r, so that batched and scalar crafting
+// produce identical perturbations seed for seed.
+type BatchAttack interface {
+	Attack
+	PerturbBatch(m Model, xs *tensor.T, labels []int, eps float64, rngs []*rand.Rand) *tensor.T
+}
+
+// AsBatch returns the batch form of an attack: gradient attacks
+// (FGM/BIM/PGD) implement BatchAttack natively and craft whole batches
+// per gradient step; decision attacks keep their scalar query
+// semantics behind a per-row adapter.
+func AsBatch(a Attack) BatchAttack {
+	if b, ok := a.(BatchAttack); ok {
+		return b
+	}
+	return &scalarBatch{a}
+}
+
+// scalarBatch adapts a scalar Attack to the batched interface by
+// perturbing each row independently — exactly the scalar protocol,
+// just batch-shaped.
+type scalarBatch struct {
+	Attack
+}
+
+func (s *scalarBatch) PerturbBatch(m Model, xs *tensor.T, labels []int, eps float64, rngs []*rand.Rand) *tensor.T {
+	out := tensor.New(xs.Shape...)
+	for r := 0; r < xs.Rows(); r++ {
+		adv := s.Attack.Perturb(m, xs.Row(r), labels[r], eps, rngs[r])
+		copy(out.Row(r).Data, adv.Data)
+	}
+	return out
+}
+
+// mustBatchGrad asserts the model supports batched gradients.
+func mustBatchGrad(m Model, name string) BatchGradModel {
+	g, ok := m.(BatchGradModel)
+	if !ok {
+		panic("attack: " + name + " requires a batch-gradient model (accurate float DNN)")
+	}
+	return g
+}
+
+// stepL2Rows applies stepL2 row by row with a shared step length.
+func stepL2Rows(x, d *tensor.T, alpha float64) {
+	for r := 0; r < x.Rows(); r++ {
+		stepL2(x.Row(r), d.Row(r), alpha)
+	}
+}
+
+// projectRows applies the norm-appropriate per-row projection of adv
+// into the eps-ball around the matching row of x.
+func projectRows(norm Norm, adv, x *tensor.T, eps float64) {
+	if norm == Linf {
+		tensor.ProjectLinfRows(adv, x, eps)
+	} else {
+		tensor.ProjectL2Rows(adv, x, eps)
+	}
+}

@@ -1,0 +1,144 @@
+package attack
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// batchFixture packs the first n correctly-shaped test samples plus
+// per-sample rng streams seeded the way core's harness seeds them.
+func batchFixture(t *testing.T, n int) (GradModel, *tensor.T, []int, func() []*rand.Rand) {
+	t.Helper()
+	m, set := trainedModel(t)
+	xs := make([]*tensor.T, n)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		xs[i] = set.X[i]
+		labels[i] = set.Y[i]
+	}
+	rngs := func() []*rand.Rand {
+		out := make([]*rand.Rand, n)
+		for i := range out {
+			out[i] = rand.New(rand.NewSource(int64(1000 + i)))
+		}
+		return out
+	}
+	return m, tensor.Stack(xs), labels, rngs
+}
+
+// TestBatchedGradientAttacksMatchScalar is the seed-for-seed parity
+// test the batched engine rests on: PerturbBatch row r must equal the
+// scalar Perturb on sample r bit for bit, for every gradient attack
+// and both norms.
+func TestBatchedGradientAttacksMatchScalar(t *testing.T) {
+	m, batch, labels, mkRngs := batchFixture(t, 6)
+	for _, name := range []string{"FGM-l2", "FGM-linf", "BIM-l2", "BIM-linf", "PGD-l2", "PGD-linf"} {
+		atk := ByName(name)
+		b, ok := atk.(BatchAttack)
+		if !ok {
+			t.Fatalf("%s must implement BatchAttack natively", name)
+		}
+		adv := b.PerturbBatch(m, batch, labels, 0.2, mkRngs())
+		if !adv.SameShape(batch) {
+			t.Fatalf("%s batch shape %v != %v", name, adv.Shape, batch.Shape)
+		}
+		scalarRngs := mkRngs()
+		for r := 0; r < batch.Rows(); r++ {
+			want := atk.Perturb(m, batch.Row(r), labels[r], 0.2, scalarRngs[r])
+			got := adv.Row(r)
+			for j := range want.Data {
+				if got.Data[j] != want.Data[j] {
+					t.Fatalf("%s sample %d pixel %d: batch %v != scalar %v",
+						name, r, j, got.Data[j], want.Data[j])
+				}
+			}
+		}
+	}
+}
+
+// TestAsBatchAdapterMatchesScalar: decision attacks go through the
+// scalar adapter and must likewise reproduce the scalar path exactly.
+func TestAsBatchAdapterMatchesScalar(t *testing.T) {
+	m, batch, labels, mkRngs := batchFixture(t, 5)
+	for _, name := range []string{"CR-l2", "RAG-l2", "RAU-l2", "RAU-linf"} {
+		b := AsBatch(ByName(name))
+		adv := b.PerturbBatch(m, batch, labels, 0.4, mkRngs())
+		scalarRngs := mkRngs()
+		for r := 0; r < batch.Rows(); r++ {
+			want := ByName(name).Perturb(m, batch.Row(r), labels[r], 0.4, scalarRngs[r])
+			got := adv.Row(r)
+			for j := range want.Data {
+				if got.Data[j] != want.Data[j] {
+					t.Fatalf("%s sample %d diverged from scalar", name, r)
+				}
+			}
+		}
+	}
+}
+
+// TestAsBatchIdentity: AsBatch must hand back native BatchAttack
+// implementations unchanged instead of wrapping them.
+func TestAsBatchIdentity(t *testing.T) {
+	fgm := NewFGM(Linf)
+	if AsBatch(fgm) != BatchAttack(fgm) {
+		t.Fatal("AsBatch re-wrapped a native BatchAttack")
+	}
+	cr := NewCR()
+	if _, ok := AsBatch(cr).(*scalarBatch); !ok {
+		t.Fatal("AsBatch must adapt scalar-only attacks")
+	}
+	if AsBatch(cr).Name() != cr.Name() {
+		t.Fatal("adapter must preserve the attack identity")
+	}
+}
+
+// TestBatchNormBudgetsRespected: the batched paths must keep every
+// row of the perturbation within the attack's norm budget.
+func TestBatchNormBudgetsRespected(t *testing.T) {
+	m, batch, labels, mkRngs := batchFixture(t, 5)
+	const eps = 0.3
+	for _, name := range []string{"FGM-l2", "BIM-linf", "PGD-l2", "PGD-linf", "RAU-linf"} {
+		adv := AsBatch(ByName(name)).PerturbBatch(m, batch, labels, eps, mkRngs())
+		d := tensor.Sub(adv, batch)
+		var norms []float64
+		if ByName(name).Norm() == Linf {
+			norms = tensor.LinfNormRows(d)
+		} else {
+			norms = tensor.L2NormRows(d)
+		}
+		for r, got := range norms {
+			if got > eps*1.0001 {
+				t.Errorf("%s row %d exceeded budget: %f > %f", name, r, got, eps)
+			}
+		}
+	}
+}
+
+// TestBatchZeroEps: eps=0 must be the identity on the whole batch.
+func TestBatchZeroEps(t *testing.T) {
+	m, batch, labels, mkRngs := batchFixture(t, 4)
+	for _, name := range []string{"PGD-linf", "CR-l2"} {
+		adv := AsBatch(ByName(name)).PerturbBatch(m, batch, labels, 0, mkRngs())
+		for j := range batch.Data {
+			if adv.Data[j] != batch.Data[j] {
+				t.Fatalf("%s modified the batch at eps=0", name)
+			}
+		}
+	}
+}
+
+// TestBatchInputNeverMutated mirrors the scalar contract.
+func TestBatchInputNeverMutated(t *testing.T) {
+	m, batch, labels, mkRngs := batchFixture(t, 4)
+	orig := batch.Clone()
+	for _, name := range []string{"FGM-linf", "PGD-l2", "RAU-linf"} {
+		AsBatch(ByName(name)).PerturbBatch(m, batch, labels, 0.3, mkRngs())
+		for j := range batch.Data {
+			if batch.Data[j] != orig.Data[j] {
+				t.Fatalf("%s mutated its input batch", name)
+			}
+		}
+	}
+}

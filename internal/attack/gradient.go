@@ -39,6 +39,25 @@ func (a *FGM) Perturb(m Model, x *tensor.T, label int, eps float64, _ *rand.Rand
 	return adv
 }
 
+// PerturbBatch implements BatchAttack: one batched gradient call
+// crafts the whole batch. FGM draws no randomness, so rngs is unused.
+func (a *FGM) PerturbBatch(m Model, xs *tensor.T, labels []int, eps float64, _ []*rand.Rand) *tensor.T {
+	g := mustBatchGrad(m, a.Name())
+	if eps == 0 {
+		return xs.Clone()
+	}
+	_, grad := g.LossGradBatch(xs, labels)
+	adv := xs.Clone()
+	if a.norm == Linf {
+		grad.Sign()
+		adv.AddScaled(float32(eps), grad)
+	} else {
+		stepL2Rows(adv, grad, eps)
+	}
+	adv.Clamp(0, 1)
+	return adv
+}
+
 // BIM is the Basic Iterative Method (iterative FGSM): repeated small
 // gradient steps, each followed by projection into the eps-ball and the
 // valid pixel box. Defaults follow Foolbox: 10 iterations with a
@@ -68,6 +87,12 @@ func NewPGD(n Norm) *BIM {
 // Name implements Attack.
 func (a *BIM) Name() string { return fmt.Sprintf("%s-%s", a.name, a.norm) }
 
+// ConfigKey implements Configurable: Steps and RelStep are exported
+// tuning knobs, so crafted-example caches must distinguish them.
+func (a *BIM) ConfigKey() string {
+	return fmt.Sprintf("%s[steps=%d,rel=%g]", a.Name(), a.Steps, a.RelStep)
+}
+
 // Norm implements Attack.
 func (a *BIM) Norm() Norm { return a.norm }
 
@@ -79,16 +104,7 @@ func (a *BIM) Perturb(m Model, x *tensor.T, label int, eps float64, rng *rand.Ra
 	}
 	adv := x.Clone()
 	if a.randomStart {
-		if a.norm == Linf {
-			for i := range adv.Data {
-				adv.Data[i] += float32((rng.Float64()*2 - 1) * eps)
-			}
-		} else {
-			d := gaussianDir(x.Shape, rng)
-			stepL2(adv, d, rng.Float64()*eps)
-		}
-		project(a.norm, adv, x, eps)
-		adv.Clamp(0, 1)
+		a.randomInit(adv, x, eps, rng)
 	}
 	alpha := a.RelStep * eps
 	for s := 0; s < a.Steps; s++ {
@@ -100,6 +116,52 @@ func (a *BIM) Perturb(m Model, x *tensor.T, label int, eps float64, rng *rand.Ra
 			stepL2(adv, grad, alpha)
 		}
 		project(a.norm, adv, x, eps)
+		adv.Clamp(0, 1)
+	}
+	return adv
+}
+
+// randomInit applies the PGD random start to one sample in place:
+// uniform in the eps-box for linf, a gaussian direction with uniform
+// radius for l2, then projection and box clamping.
+func (a *BIM) randomInit(adv, x *tensor.T, eps float64, rng *rand.Rand) {
+	if a.norm == Linf {
+		for i := range adv.Data {
+			adv.Data[i] += float32((rng.Float64()*2 - 1) * eps)
+		}
+	} else {
+		d := gaussianDir(x.Shape, rng)
+		stepL2(adv, d, rng.Float64()*eps)
+	}
+	project(a.norm, adv, x, eps)
+	adv.Clamp(0, 1)
+}
+
+// PerturbBatch implements BatchAttack: every gradient step is one
+// batched LossGradBatch call over the whole batch. Row r consumes
+// rngs[r] in exactly the scalar draw order, so the crafted batch is
+// bit-for-bit the scalar crafted samples.
+func (a *BIM) PerturbBatch(m Model, xs *tensor.T, labels []int, eps float64, rngs []*rand.Rand) *tensor.T {
+	g := mustBatchGrad(m, a.Name())
+	if eps == 0 {
+		return xs.Clone()
+	}
+	adv := xs.Clone()
+	if a.randomStart {
+		for r := 0; r < adv.Rows(); r++ {
+			a.randomInit(adv.Row(r), xs.Row(r), eps, rngs[r])
+		}
+	}
+	alpha := a.RelStep * eps
+	for s := 0; s < a.Steps; s++ {
+		_, grad := g.LossGradBatch(adv, labels)
+		if a.norm == Linf {
+			grad.Sign()
+			adv.AddScaled(float32(alpha), grad)
+		} else {
+			stepL2Rows(adv, grad, alpha)
+		}
+		projectRows(a.norm, adv, xs, eps)
 		adv.Clamp(0, 1)
 	}
 	return adv

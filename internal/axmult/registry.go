@@ -11,7 +11,7 @@ import (
 
 // The registry binds EvoApprox8b-style names (the ones the paper's
 // figures use) to configured behavioural designs. The mapping is a
-// documented substitution: see DESIGN.md. Error metrics for every entry
+// documented substitution: see README.md. Error metrics for every entry
 // are reported by cmd/axmultinfo and pinned by the package tests.
 var (
 	regMu   sync.Mutex

@@ -57,14 +57,21 @@ type Network struct {
 	noZP        bool
 }
 
+// qtensor is a batch of n quantized activations sharing one code
+// layout: shape is the PER-SAMPLE shape and data packs the n samples
+// contiguously ([n * vol(shape)] codes).
 type qtensor struct {
+	n     int
 	shape []int
 	data  []uint8
 	qp    quant.Params
 }
 
-// qlayer either produces another quantized tensor or, for the final
-// stage, float logits.
+// vol returns the per-sample element count.
+func (t qtensor) vol() int { return len(t.data) / t.n }
+
+// qlayer either produces another quantized batch or, for the final
+// stage, float logits ([n * classes], row-major by sample).
 type qlayer interface {
 	forward(net *Network, in qtensor) (qtensor, []float32)
 }
@@ -84,12 +91,11 @@ func Compile(n *nn.Network, calib []*tensor.T, opts Options) (*Network, error) {
 	mins := make([]float32, len(n.Layers))
 	maxs := make([]float32, len(n.Layers))
 	var inMin, inMax float32
-	cn := n.Clone()
 	for _, x := range calib {
 		lo, hi := quant.Range(x.Data)
 		inMin += lo
 		inMax += hi
-		for i, o := range cn.ForwardTrace(x) {
+		for i, o := range n.ForwardTrace(x) {
 			l2, h2 := quant.Range(o.Data)
 			mins[i] += l2
 			maxs[i] += h2
@@ -178,9 +184,26 @@ func (q *Network) MultiplierName() string { return q.mulID }
 // Logits quantizes x and runs the integer pipeline, returning float
 // logits. Safe for concurrent use.
 func (q *Network) Logits(x *tensor.T) []float32 {
+	return q.run(x.Data, x.Shape, 1)
+}
+
+// LogitsBatch runs the integer pipeline on a batch [N, sampleShape...]
+// and returns the [N, classes] logits. The whole batch shares one
+// quantization pass and one set of im2col/accumulator buffers per conv
+// stage, so the LUT work is amortised; row r is bit-for-bit identical
+// to Logits on sample r. Safe for concurrent use.
+func (q *Network) LogitsBatch(xs *tensor.T) *tensor.T {
+	n := xs.Shape[0]
+	out := q.run(xs.Data, xs.Shape[1:], n)
+	return tensor.FromSlice(out, n, len(out)/n)
+}
+
+// run quantizes n packed samples and pushes them through the layers.
+func (q *Network) run(data []float32, sampleShape []int, n int) []float32 {
 	in := qtensor{
-		shape: append([]int(nil), x.Shape...),
-		data:  q.inQP.QuantizeSlice(x.Data),
+		n:     n,
+		shape: append([]int(nil), sampleShape...),
+		data:  q.inQP.QuantizeSlice(data),
 		qp:    q.inQP,
 	}
 	for _, l := range q.layers {
@@ -206,7 +229,8 @@ type qReLU struct {
 }
 
 func (r *qReLU) forward(_ *Network, in qtensor) (qtensor, []float32) {
-	out := qtensor{shape: in.shape, data: make([]uint8, len(in.data)), qp: r.outQP}
+	// Elementwise code map: the batch is one flat pass.
+	out := qtensor{n: in.n, shape: in.shape, data: make([]uint8, len(in.data)), qp: r.outQP}
 	for i, c := range in.data {
 		out.data[i] = r.lut[c]
 	}
@@ -216,7 +240,7 @@ func (r *qReLU) forward(_ *Network, in qtensor) (qtensor, []float32) {
 type qFlatten struct{}
 
 func (f *qFlatten) forward(_ *Network, in qtensor) (qtensor, []float32) {
-	return qtensor{shape: []int{len(in.data)}, data: in.data, qp: in.qp}, nil
+	return qtensor{n: in.n, shape: []int{in.vol()}, data: in.data, qp: in.qp}, nil
 }
 
 // qAvgPool averages codes inside each window (affine codes average like
@@ -231,22 +255,26 @@ func (p *qAvgPool) forward(_ *Network, in qtensor) (qtensor, []float32) {
 	c, h, w := in.shape[0], in.shape[1], in.shape[2]
 	outH := (h-p.k)/p.stride + 1
 	outW := (w-p.k)/p.stride + 1
-	out := qtensor{shape: []int{c, outH, outW}, data: make([]uint8, c*outH*outW), qp: p.outQP}
+	out := qtensor{n: in.n, shape: []int{c, outH, outW}, data: make([]uint8, in.n*c*outH*outW), qp: p.outQP}
 	kk := p.k * p.k
 	half := kk / 2
-	for ci := 0; ci < c; ci++ {
-		src := in.data[ci*h*w:]
-		dst := out.data[ci*outH*outW:]
-		for oi := 0; oi < outH; oi++ {
-			for oj := 0; oj < outW; oj++ {
-				sum := 0
-				for ki := 0; ki < p.k; ki++ {
-					row := (oi*p.stride + ki) * w
-					for kj := 0; kj < p.k; kj++ {
-						sum += int(src[row+oj*p.stride+kj])
+	for s := 0; s < in.n; s++ {
+		sIn := in.data[s*c*h*w:]
+		sOut := out.data[s*c*outH*outW:]
+		for ci := 0; ci < c; ci++ {
+			src := sIn[ci*h*w:]
+			dst := sOut[ci*outH*outW:]
+			for oi := 0; oi < outH; oi++ {
+				for oj := 0; oj < outW; oj++ {
+					sum := 0
+					for ki := 0; ki < p.k; ki++ {
+						row := (oi*p.stride + ki) * w
+						for kj := 0; kj < p.k; kj++ {
+							sum += int(src[row+oj*p.stride+kj])
+						}
 					}
+					dst[oi*outW+oj] = p.lut[(sum+half)/kk]
 				}
-				dst[oi*outW+oj] = p.lut[(sum+half)/kk]
 			}
 		}
 	}

@@ -54,7 +54,7 @@ func TestExactQuantizationTracksFloat(t *testing.T) {
 	}
 	agree := 0
 	for _, x := range calibSet(64, 3) {
-		fl := net.Clone().Logits(x)
+		fl := net.Logits(x)
 		ql := q.Logits(x)
 		if len(fl) != len(ql) {
 			t.Fatal("logit length mismatch")
@@ -225,7 +225,7 @@ func TestZeroPointCorrectionExactness(t *testing.T) {
 		t.Fatalf("layer 0 is %T, want *qConv", q.layers[0])
 	}
 	x := calibSet(1, 22)[0]
-	in := qtensor{shape: x.Shape, data: q.inQP.QuantizeSlice(x.Data), qp: q.inQP}
+	in := qtensor{n: 1, shape: x.Shape, data: q.inQP.QuantizeSlice(x.Data), qp: q.inQP}
 	out, _ := qc.forward(q, in)
 
 	// Direct affine computation for output (oc=0, oi=0, oj=0).

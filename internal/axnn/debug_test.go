@@ -25,10 +25,9 @@ func TestDiagnoseQuantizationDepth(t *testing.T) {
 		t.Fatal(err)
 	}
 	x := m.Test.X[0]
-	fl := m.Net.Clone()
-	floats := fl.ForwardTrace(x)
+	floats := m.Net.ForwardTrace(x)
 
-	in := qtensor{shape: x.Shape, data: q.inQP.QuantizeSlice(x.Data), qp: q.inQP}
+	in := qtensor{n: 1, shape: x.Shape, data: q.inQP.QuantizeSlice(x.Data), qp: q.inQP}
 	for i, l := range q.layers {
 		var logits []float32
 		in, logits = l.forward(q, in)

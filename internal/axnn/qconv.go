@@ -65,53 +65,64 @@ func (c *qConv) forward(net *Network, in qtensor) (qtensor, []float32) {
 	outW := (w+2*c.pad-c.k)/c.stride + 1
 	p := outH * outW
 	kk := c.inC * c.k * c.k
+	inVol := c.inC * h * w
 
-	// im2col in the code domain; padding contributes the zero-point
-	// code (real value 0), as in the hardware dataflow.
+	// Batch-shared scratch: the column, activation-sum, and accumulator
+	// buffers are allocated once and reused by every sample, so the
+	// per-sample cost is pure LUT/adder work.
 	cols := make([]uint8, kk*p)
-	im2colCodes(in.data, c.inC, h, w, c.k, c.stride, c.pad, in.qp.Zero, cols)
-
-	// Per-pixel activation-code sums for the zero-point correction.
 	aSum := make([]int32, p)
-	for q := 0; q < kk; q++ {
-		col := cols[q*p : (q+1)*p]
-		for i, a := range col {
-			aSum[i] += int32(a)
-		}
-	}
+	acc := make([]int32, p)
 
 	za := int32(c.inQP.Zero)
 	lut := net.mul
 
-	out := qtensor{shape: []int{c.outC, outH, outW}, data: make([]uint8, c.outC*p), qp: c.outQP}
-	acc := make([]int32, p)
-	for oc := 0; oc < c.outC; oc++ {
-		for i := range acc {
-			acc[i] = 0
+	out := qtensor{n: in.n, shape: []int{c.outC, outH, outW}, data: make([]uint8, in.n*c.outC*p), qp: c.outQP}
+	for s := 0; s < in.n; s++ {
+		// im2col in the code domain; padding contributes the zero-point
+		// code (real value 0), as in the hardware dataflow.
+		im2colCodes(in.data[s*inVol:(s+1)*inVol], c.inC, h, w, c.k, c.stride, c.pad, in.qp.Zero, cols)
+
+		// Per-pixel activation-code sums for the zero-point correction.
+		for i := range aSum {
+			aSum[i] = 0
 		}
-		wRow := c.wCodes[oc*kk : (oc+1)*kk]
 		for q := 0; q < kk; q++ {
-			wc := uint32(wRow[q])
 			col := cols[q*p : (q+1)*p]
 			for i, a := range col {
-				acc[i] += int32(lut[uint32(a)<<8|wc])
+				aSum[i] += int32(a)
 			}
 		}
-		zw := int32(c.wQP[oc].Zero)
-		scale := c.inQP.Scale * c.wQP[oc].Scale
-		fixed := int32(kk)*za*zw - za*c.wSum[oc]
-		bias := c.bias[oc]
-		dst := out.data[oc*p : (oc+1)*p]
-		if net.noZP {
-			// Ablation: raw LUT sums without the correction adders.
+
+		sOut := out.data[s*c.outC*p:]
+		for oc := 0; oc < c.outC; oc++ {
 			for i := range acc {
-				dst[i] = c.outQP.Quantize(float32(acc[i])*scale + bias)
+				acc[i] = 0
 			}
-			continue
-		}
-		for i := range acc {
-			v := float32(acc[i]-zw*aSum[i]+fixed)*scale + bias
-			dst[i] = c.outQP.Quantize(v)
+			wRow := c.wCodes[oc*kk : (oc+1)*kk]
+			for q := 0; q < kk; q++ {
+				wc := uint32(wRow[q])
+				col := cols[q*p : (q+1)*p]
+				for i, a := range col {
+					acc[i] += int32(lut[uint32(a)<<8|wc])
+				}
+			}
+			zw := int32(c.wQP[oc].Zero)
+			scale := c.inQP.Scale * c.wQP[oc].Scale
+			fixed := int32(kk)*za*zw - za*c.wSum[oc]
+			bias := c.bias[oc]
+			dst := sOut[oc*p : (oc+1)*p]
+			if net.noZP {
+				// Ablation: raw LUT sums without the correction adders.
+				for i := range acc {
+					dst[i] = c.outQP.Quantize(float32(acc[i])*scale + bias)
+				}
+				continue
+			}
+			for i := range acc {
+				v := float32(acc[i]-zw*aSum[i]+fixed)*scale + bias
+				dst[i] = c.outQP.Quantize(v)
+			}
 		}
 	}
 	return out, nil

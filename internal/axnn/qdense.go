@@ -46,33 +46,36 @@ func (d *qDense) forward(net *Network, in qtensor) (qtensor, []float32) {
 	za := int32(d.inQP.Zero)
 	zw := int32(d.wQP.Zero)
 	scale := d.inQP.Scale * d.wQP.Scale
+	lut := net.mul
 
-	var aSum int32
-	for _, a := range in.data {
-		aSum += int32(a)
-	}
-
-	vals := make([]float32, d.out)
-	for o := 0; o < d.out; o++ {
-		w := d.wCodes[o*d.in : (o+1)*d.in]
-		var acc int32
-		if net.approxDense {
-			lut := net.mul
-			for i, a := range in.data {
-				acc += int32(lut[uint32(a)<<8|uint32(w[i])])
-			}
-		} else {
-			for i, a := range in.data {
-				acc += int32(a) * int32(w[i])
-			}
+	vals := make([]float32, in.n*d.out)
+	for s := 0; s < in.n; s++ {
+		xd := in.data[s*d.in : (s+1)*d.in]
+		var aSum int32
+		for _, a := range xd {
+			aSum += int32(a)
 		}
-		acc += int32(d.in)*za*zw - za*d.wSum[o] - zw*aSum
-		vals[o] = float32(acc)*scale + d.bias[o]
+		sVals := vals[s*d.out : (s+1)*d.out]
+		for o := 0; o < d.out; o++ {
+			w := d.wCodes[o*d.in : (o+1)*d.in]
+			var acc int32
+			if net.approxDense {
+				for i, a := range xd {
+					acc += int32(lut[uint32(a)<<8|uint32(w[i])])
+				}
+			} else {
+				for i, a := range xd {
+					acc += int32(a) * int32(w[i])
+				}
+			}
+			acc += int32(d.in)*za*zw - za*d.wSum[o] - zw*aSum
+			sVals[o] = float32(acc)*scale + d.bias[o]
+		}
 	}
 	if d.last {
 		return qtensor{}, vals
 	}
-	out := qtensor{shape: []int{d.out}, data: make([]uint8, d.out), qp: d.outQP}
+	out := qtensor{n: in.n, shape: []int{d.out}, data: make([]uint8, in.n*d.out), qp: d.outQP}
 	for i, v := range vals {
 		out.data[i] = d.outQP.Quantize(v)
 	}

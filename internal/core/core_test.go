@@ -46,7 +46,7 @@ func TestRobustnessGridShapeAndBaseline(t *testing.T) {
 	}
 	// eps=0 row is clean accuracy: the quantized accurate victim must
 	// be close to the float model's accuracy.
-	floatAcc := 100 * train.AccuracyCloned(func() train.Predictor { return f.net.Clone() }, f.test, 80)
+	floatAcc := 100 * train.Accuracy(f.net, f.test, 80)
 	if diff := g.Acc[0][0] - floatAcc; diff > 5 || diff < -5 {
 		t.Fatalf("clean quantized accuracy %f far from float %f", g.Acc[0][0], floatAcc)
 	}
@@ -110,6 +110,204 @@ func TestGridRender(t *testing.T) {
 	}
 	if !strings.Contains(s, "0.50") {
 		t.Fatalf("render missing eps row:\n%s", s)
+	}
+}
+
+func TestGridAtToleratesEpsRoundoff(t *testing.T) {
+	// Budgets produced by arithmetic (0.1*3 != 0.3 in float64) must
+	// still be addressable with the literal value.
+	g := &Grid{
+		Attack:  "X",
+		Eps:     []float64{0, 0.1 * 3},
+		Victims: []string{"a"},
+		Acc:     [][]float64{{90}, {40}},
+	}
+	if v, ok := g.At(0.3, "a"); !ok || v != 40 {
+		t.Fatalf("At(0.3) = %f,%v despite round-off tolerance", v, ok)
+	}
+	if _, ok := g.At(0.31, "a"); ok {
+		t.Fatal("At must not match a genuinely different budget")
+	}
+}
+
+func TestMaxAccuracyLossBaselinesEpsZeroRow(t *testing.T) {
+	// The clean row is not first: the baseline must still be eps==0.
+	g := &Grid{
+		Attack:  "X",
+		Eps:     []float64{0.5, 0},
+		Victims: []string{"a"},
+		Acc:     [][]float64{{50}, {90}},
+	}
+	loss, victim, eps := g.MaxAccuracyLoss()
+	if loss != 40 || victim != "a" || eps != 0.5 {
+		t.Fatalf("MaxAccuracyLoss = %f %s %f, want 40 a 0.5", loss, victim, eps)
+	}
+	// Without a zero row, the smallest budget anchors the baseline.
+	g2 := &Grid{
+		Attack:  "X",
+		Eps:     []float64{0.4, 0.1},
+		Victims: []string{"a"},
+		Acc:     [][]float64{{60}, {80}},
+	}
+	if loss, _, _ := g2.MaxAccuracyLoss(); loss != 20 {
+		t.Fatalf("fallback baseline loss = %f, want 20", loss)
+	}
+}
+
+func TestCraftedCacheReuse(t *testing.T) {
+	f := getFixture(t)
+	victims, err := BuildAxVictims(f.net, f.test, []string{"mul8u_1JFF"}, axnn.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ClearCraftedCache()
+	if CraftedCacheLen() != 0 {
+		t.Fatal("cache not cleared")
+	}
+	atk := attack.ByName("PGD-linf")
+	opts := Options{Samples: 40, Seed: 13}
+	a := RobustnessGrid(f.net, victims, f.test, atk, []float64{0, 0.1}, opts)
+	filled := CraftedCacheLen()
+	if filled != 2 {
+		t.Fatalf("cache holds %d batches after a 2-eps grid, want 2", filled)
+	}
+	// A second identical sweep must reuse every batch and agree exactly.
+	b := RobustnessGrid(f.net, victims, f.test, atk, []float64{0, 0.1}, opts)
+	if CraftedCacheLen() != filled {
+		t.Fatalf("identical sweep re-crafted: %d batches", CraftedCacheLen())
+	}
+	for ei := range a.Acc {
+		if a.Acc[ei][0] != b.Acc[ei][0] {
+			t.Fatalf("cached sweep diverged at row %d", ei)
+		}
+	}
+	ClearCraftedCache()
+	if CraftedCacheLen() != 0 {
+		t.Fatal("ClearCraftedCache left entries behind")
+	}
+}
+
+func TestCrossSweepCellReuse(t *testing.T) {
+	// The same (attack, eps, seed) cell must be crafted once and agree
+	// exactly even when the two sweeps shape their eps grids
+	// differently — the rng stream is keyed by the budget value, not
+	// its index in the sweep.
+	f := getFixture(t)
+	victims, err := BuildAxVictims(f.net, f.test, []string{"mul8u_1JFF"}, axnn.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ClearCraftedCache()
+	atk := attack.ByName("PGD-linf")
+	opts := Options{Samples: 40, Seed: 21}
+	a := RobustnessGrid(f.net, victims, f.test, atk, []float64{0, 0.1, 0.2}, opts)
+	filled := CraftedCacheLen() // clean batch + eps 0.1 + eps 0.2
+	if filled != 3 {
+		t.Fatalf("cache holds %d batches, want 3", filled)
+	}
+	b := RobustnessGrid(f.net, victims, f.test, atk, []float64{0.05, 0.1}, opts)
+	if CraftedCacheLen() != filled+1 {
+		t.Fatalf("misaligned sweep re-crafted shared cells: %d batches, want %d", CraftedCacheLen(), filled+1)
+	}
+	va, _ := a.At(0.1, "mul8u_1JFF")
+	vb, _ := b.At(0.1, "mul8u_1JFF")
+	if va != vb {
+		t.Fatalf("shared (attack, eps, seed) cell diverged across sweeps: %f vs %f", va, vb)
+	}
+	ClearCraftedCache()
+}
+
+func TestCraftedCacheEpsRoundoff(t *testing.T) {
+	// Budgets the Grid API treats as equal (within epsTolerance) must
+	// hit the same crafted batch: 0.1*3 and the literal 0.3 are one
+	// cell.
+	f := getFixture(t)
+	victims, err := BuildAxVictims(f.net, f.test, []string{"mul8u_1JFF"}, axnn.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ClearCraftedCache()
+	atk := attack.ByName("PGD-linf")
+	opts := Options{Samples: 30, Seed: 8}
+	a := RobustnessGrid(f.net, victims, f.test, atk, []float64{0.1 * 3}, opts)
+	filled := CraftedCacheLen()
+	b := RobustnessGrid(f.net, victims, f.test, atk, []float64{0.3}, opts)
+	if CraftedCacheLen() != filled {
+		t.Fatalf("round-off twin budgets crafted separately (%d entries)", CraftedCacheLen())
+	}
+	va, _ := a.At(0.3, "mul8u_1JFF")
+	vb, _ := b.At(0.3, "mul8u_1JFF")
+	if va != vb {
+		t.Fatalf("round-off twin budgets disagree: %f vs %f", va, vb)
+	}
+	ClearCraftedCache()
+}
+
+func TestCraftedCacheKeysAttackConfig(t *testing.T) {
+	// Two PGD instances sharing a Name but differing in Steps must not
+	// share crafted batches.
+	f := getFixture(t)
+	victims, err := BuildAxVictims(f.net, f.test, []string{"mul8u_1JFF"}, axnn.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ClearCraftedCache()
+	short := attack.NewPGD(attack.Linf)
+	long := attack.NewPGD(attack.Linf)
+	long.Steps = 40
+	opts := Options{Samples: 30, Seed: 5}
+	RobustnessGrid(f.net, victims, f.test, short, []float64{0.1}, opts)
+	filled := CraftedCacheLen()
+	RobustnessGrid(f.net, victims, f.test, long, []float64{0.1}, opts)
+	if CraftedCacheLen() != filled+1 {
+		t.Fatalf("differently-configured attacks shared a cache entry (%d entries)", CraftedCacheLen())
+	}
+	ClearCraftedCache()
+}
+
+func TestCraftedCacheInvalidatedByRetraining(t *testing.T) {
+	// Mutating weights in place must miss the old cache entries — the
+	// keys fingerprint the network, so a fine-tuned model never
+	// replays adversarial examples crafted against its old weights.
+	f := getFixture(t)
+	victims, err := BuildAxVictims(f.net, f.test, []string{"mul8u_1JFF"}, axnn.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ClearCraftedCache()
+	atk := attack.ByName("FGM-linf")
+	opts := Options{Samples: 30, Seed: 9}
+	RobustnessGrid(f.net, victims, f.test, atk, []float64{0.1}, opts)
+	filled := CraftedCacheLen()
+	p := f.net.Params()[0]
+	orig := p.W[0]
+	p.W[0] += 0.25
+	RobustnessGrid(f.net, victims, f.test, atk, []float64{0.1}, opts)
+	p.W[0] = orig
+	if CraftedCacheLen() != filled+1 {
+		t.Fatalf("retrained network reused stale crafted batch (%d entries, want %d)", CraftedCacheLen(), filled+1)
+	}
+	ClearCraftedCache()
+}
+
+func TestCraftedCacheBudgetEviction(t *testing.T) {
+	f := getFixture(t)
+	victims, err := BuildAxVictims(f.net, f.test, []string{"mul8u_1JFF"}, axnn.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ClearCraftedCache()
+	orig := craftCacheBudget
+	defer func() { craftCacheBudget = orig; ClearCraftedCache() }()
+	// Budget below two 20-sample batches: the second store must reset
+	// the cache instead of growing it.
+	craftCacheBudget = int64(30 * f.test.X[0].Len())
+	opts := Options{Samples: 20, Seed: 6}
+	atk := attack.ByName("FGM-linf")
+	RobustnessGrid(f.net, victims, f.test, atk, []float64{0.1}, opts)
+	RobustnessGrid(f.net, victims, f.test, atk, []float64{0.2}, opts)
+	if n := CraftedCacheLen(); n != 1 {
+		t.Fatalf("cache holds %d entries over budget, want 1 after epoch eviction", n)
 	}
 }
 

@@ -1,5 +1,5 @@
 // Package dataset provides deterministic synthetic stand-ins for the
-// paper's datasets (the environment is offline; see DESIGN.md):
+// paper's datasets (the environment is offline; see README.md):
 //
 //   - Digits: 28x28x1 procedurally rendered digit glyphs with affine
 //     jitter and noise — the MNIST substitute. LeNet-5 reaches a high

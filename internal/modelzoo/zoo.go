@@ -132,12 +132,12 @@ func Get(name string) (*Model, error) {
 			return nil, fmt.Errorf("modelzoo: saving %s: %w", name, err)
 		}
 		m := &Model{Net: net, Train: tr, Test: test}
-		m.CleanAcc = 100 * train.AccuracyCloned(func() train.Predictor { return net.Clone() }, test, 0)
+		m.CleanAcc = 100 * train.Accuracy(net, test, 0)
 		cache[name] = m
 		return m, nil
 	}
 	m := &Model{Net: net, Test: test}
-	m.CleanAcc = 100 * train.AccuracyCloned(func() train.Predictor { return net.Clone() }, test, 0)
+	m.CleanAcc = 100 * train.Accuracy(net, test, 0)
 	cache[name] = m
 	return m, nil
 }

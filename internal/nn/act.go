@@ -2,58 +2,57 @@ package nn
 
 import "repro/internal/tensor"
 
-// ReLU is the rectified linear activation.
-type ReLU struct {
-	mask []bool
-}
+// ReLU is the rectified linear activation. It is elementwise, so single
+// samples and batches take the same path.
+type ReLU struct{}
 
 // Forward implements Layer.
-func (r *ReLU) Forward(x *tensor.T) *tensor.T {
+func (r *ReLU) Forward(x *tensor.T, st *State) *tensor.T {
 	y := x.Clone()
-	if cap(r.mask) < len(y.Data) {
-		r.mask = make([]bool, len(y.Data))
+	if cap(st.mask) < len(y.Data) {
+		st.mask = make([]bool, len(y.Data))
 	}
-	r.mask = r.mask[:len(y.Data)]
+	st.mask = st.mask[:len(y.Data)]
 	for i, v := range y.Data {
 		if v <= 0 {
 			y.Data[i] = 0
-			r.mask[i] = false
+			st.mask[i] = false
 		} else {
-			r.mask[i] = true
+			st.mask[i] = true
 		}
 	}
 	return y
 }
 
 // Backward implements Layer.
-func (r *ReLU) Backward(dy *tensor.T) *tensor.T {
+func (r *ReLU) Backward(dy *tensor.T, st *State) *tensor.T {
 	dx := dy.Clone()
 	for i := range dx.Data {
-		if !r.mask[i] {
+		if !st.mask[i] {
 			dx.Data[i] = 0
 		}
 	}
 	return dx
 }
 
-// Clone implements Layer.
-func (r *ReLU) Clone() Layer { return &ReLU{} }
-
-// Flatten reshapes [C,H,W] to [C*H*W]; a no-op on already-flat inputs.
-type Flatten struct {
-	shape []int
-}
+// Flatten reshapes [C,H,W] samples to [C*H*W] and [N,C,H,W] batches to
+// [N,C*H*W]; a no-op on already-flat inputs.
+type Flatten struct{}
 
 // Forward implements Layer.
-func (f *Flatten) Forward(x *tensor.T) *tensor.T {
-	f.shape = append(f.shape[:0], x.Shape...)
-	return x.Reshape(x.Len())
+func (f *Flatten) Forward(x *tensor.T, st *State) *tensor.T {
+	st.shape = append(st.shape[:0], x.Shape...)
+	switch len(x.Shape) {
+	case 4:
+		return x.Reshape(x.Shape[0], x.Len()/x.Shape[0])
+	case 3:
+		return x.Reshape(x.Len())
+	default:
+		return x
+	}
 }
 
 // Backward implements Layer.
-func (f *Flatten) Backward(dy *tensor.T) *tensor.T {
-	return dy.Reshape(f.shape...)
+func (f *Flatten) Backward(dy *tensor.T, st *State) *tensor.T {
+	return dy.Reshape(st.shape...)
 }
-
-// Clone implements Layer.
-func (f *Flatten) Clone() Layer { return &Flatten{} }

@@ -9,8 +9,10 @@ import (
 )
 
 // Conv2D is a 2-D convolution (cross-correlation) layer over [C,H,W]
-// tensors, implemented with im2col so the same column buffers can be
-// reused by the backward pass.
+// samples or [N,C,H,W] batches, implemented with im2col: the forward
+// pass unrolls the whole batch into a [N, InC*K*K, outH*outW] column
+// buffer and runs one GEMM per sample over it, and the backward pass
+// reuses the same columns.
 type Conv2D struct {
 	InC, OutC, K, Stride, Pad int
 
@@ -19,12 +21,6 @@ type Conv2D struct {
 
 	GW []float32
 	GB []float32
-
-	// caches from the last Forward
-	x          *tensor.T
-	cols       []float32 // [InC*K*K][outH*outW]
-	inH, inW   int
-	outH, outW int
 }
 
 // NewConv2D creates a conv layer with He-uniform initialised weights.
@@ -51,83 +47,117 @@ func (c *Conv2D) OutSize(h, w int) (int, int) {
 }
 
 // Forward implements Layer.
-func (c *Conv2D) Forward(x *tensor.T) *tensor.T {
-	if len(x.Shape) != 3 || x.Shape[0] != c.InC {
-		panic(fmt.Sprintf("nn: Conv2D expects [%d,H,W], got %v", c.InC, x.Shape))
+func (c *Conv2D) Forward(x *tensor.T, st *State) *tensor.T {
+	n, sample := batchDims(x, 3)
+	if len(sample) != 3 || sample[0] != c.InC {
+		panic(fmt.Sprintf("nn: Conv2D expects [%d,H,W] or [N,%d,H,W], got %v", c.InC, c.InC, x.Shape))
 	}
-	c.x = x
-	c.inH, c.inW = x.Shape[1], x.Shape[2]
-	c.outH, c.outW = c.OutSize(c.inH, c.inW)
-	p := c.outH * c.outW
+	inH, inW := sample[1], sample[2]
+	outH, outW := c.OutSize(inH, inW)
+	p := outH * outW
 	kk := c.InC * c.K * c.K
-	if cap(c.cols) < kk*p {
-		c.cols = make([]float32, kk*p)
+	st.x = x
+	if cap(st.cols) < n*kk*p {
+		st.cols = make([]float32, n*kk*p)
 	}
-	c.cols = c.cols[:kk*p]
-	Im2col(x.Data, c.InC, c.inH, c.inW, c.K, c.Stride, c.Pad, c.cols)
+	st.cols = st.cols[:n*kk*p]
 
-	y := tensor.New(c.OutC, c.outH, c.outW)
-	for oc := 0; oc < c.OutC; oc++ {
-		w := c.W[oc*kk : (oc+1)*kk]
-		out := y.Data[oc*p : (oc+1)*p]
-		for q := 0; q < kk; q++ {
-			wq := w[q]
-			if wq == 0 {
-				continue
+	var y *tensor.T
+	if len(x.Shape) == 4 {
+		y = tensor.New(n, c.OutC, outH, outW)
+	} else {
+		y = tensor.New(c.OutC, outH, outW)
+	}
+	inStride := c.InC * inH * inW
+	for s := 0; s < n; s++ {
+		cols := st.cols[s*kk*p : (s+1)*kk*p]
+		Im2col(x.Data[s*inStride:(s+1)*inStride], c.InC, inH, inW, c.K, c.Stride, c.Pad, cols)
+		yd := y.Data[s*c.OutC*p : (s+1)*c.OutC*p]
+		for oc := 0; oc < c.OutC; oc++ {
+			w := c.W[oc*kk : (oc+1)*kk]
+			out := yd[oc*p : (oc+1)*p]
+			for q := 0; q < kk; q++ {
+				wq := w[q]
+				if wq == 0 {
+					continue
+				}
+				col := cols[q*p : (q+1)*p]
+				for i, v := range col {
+					out[i] += wq * v
+				}
 			}
-			col := c.cols[q*p : (q+1)*p]
-			for i, v := range col {
-				out[i] += wq * v
+			bias := c.B[oc]
+			for i := range out {
+				out[i] += bias
 			}
-		}
-		bias := c.B[oc]
-		for i := range out {
-			out[i] += bias
 		}
 	}
 	return y
 }
 
 // Backward implements Layer.
-func (c *Conv2D) Backward(dy *tensor.T) *tensor.T {
-	p := c.outH * c.outW
+func (c *Conv2D) Backward(dy *tensor.T, st *State) *tensor.T {
+	x := st.x
+	n, sample := batchDims(x, 3)
+	inH, inW := sample[1], sample[2]
+	outH, outW := c.OutSize(inH, inW)
+	p := outH * outW
 	kk := c.InC * c.K * c.K
-	// Weight and bias gradients.
-	for oc := 0; oc < c.OutC; oc++ {
-		d := dy.Data[oc*p : (oc+1)*p]
-		gw := c.GW[oc*kk : (oc+1)*kk]
-		for q := 0; q < kk; q++ {
-			col := c.cols[q*p : (q+1)*p]
-			var s float32
-			for i, v := range col {
-				s += d[i] * v
-			}
-			gw[q] += s
-		}
-		var sb float32
-		for _, v := range d {
-			sb += v
-		}
-		c.GB[oc] += sb
+
+	if cap(st.dcols) < kk*p {
+		st.dcols = make([]float32, kk*p)
 	}
-	// Input gradient via dcols = W^T dy, then col2im.
-	dcols := make([]float32, kk*p)
-	for oc := 0; oc < c.OutC; oc++ {
-		d := dy.Data[oc*p : (oc+1)*p]
-		w := c.W[oc*kk : (oc+1)*kk]
-		for q := 0; q < kk; q++ {
-			wq := w[q]
-			if wq == 0 {
-				continue
-			}
-			dst := dcols[q*p : (q+1)*p]
-			for i, v := range d {
-				dst[i] += wq * v
+	dcols := st.dcols[:kk*p]
+
+	var dx *tensor.T
+	if len(x.Shape) == 4 {
+		dx = tensor.New(n, c.InC, inH, inW)
+	} else {
+		dx = tensor.New(c.InC, inH, inW)
+	}
+	inStride := c.InC * inH * inW
+	for s := 0; s < n; s++ {
+		cols := st.cols[s*kk*p : (s+1)*kk*p]
+		dyd := dy.Data[s*c.OutC*p : (s+1)*c.OutC*p]
+		if st.accumGrads {
+			for oc := 0; oc < c.OutC; oc++ {
+				d := dyd[oc*p : (oc+1)*p]
+				gw := c.GW[oc*kk : (oc+1)*kk]
+				for q := 0; q < kk; q++ {
+					col := cols[q*p : (q+1)*p]
+					var sum float32
+					for i, v := range col {
+						sum += d[i] * v
+					}
+					gw[q] += sum
+				}
+				var sb float32
+				for _, v := range d {
+					sb += v
+				}
+				c.GB[oc] += sb
 			}
 		}
+		// Input gradient via dcols = W^T dy, then col2im.
+		for i := range dcols {
+			dcols[i] = 0
+		}
+		for oc := 0; oc < c.OutC; oc++ {
+			d := dyd[oc*p : (oc+1)*p]
+			w := c.W[oc*kk : (oc+1)*kk]
+			for q := 0; q < kk; q++ {
+				wq := w[q]
+				if wq == 0 {
+					continue
+				}
+				dst := dcols[q*p : (q+1)*p]
+				for i, v := range d {
+					dst[i] += wq * v
+				}
+			}
+		}
+		Col2im(dcols, c.InC, inH, inW, c.K, c.Stride, c.Pad, dx.Data[s*inStride:(s+1)*inStride])
 	}
-	dx := tensor.New(c.InC, c.inH, c.inW)
-	Col2im(dcols, c.InC, c.inH, c.inW, c.K, c.Stride, c.Pad, dx.Data)
 	return dx
 }
 
@@ -136,8 +166,8 @@ func (c *Conv2D) Params() []Param {
 	return []Param{{Name: "W", W: c.W, G: c.GW}, {Name: "B", W: c.B, G: c.GB}}
 }
 
-// Clone implements Layer: shares W/B, fresh gradients and caches.
-func (c *Conv2D) Clone() Layer {
+// CloneForTraining implements ParamLayer: shares W/B, fresh gradients.
+func (c *Conv2D) CloneForTraining() Layer {
 	return &Conv2D{
 		InC: c.InC, OutC: c.OutC, K: c.K, Stride: c.Stride, Pad: c.Pad,
 		W: c.W, B: c.B,

@@ -8,7 +8,8 @@ import (
 	"repro/internal/tensor"
 )
 
-// Dense is a fully connected layer over flat [N] tensors.
+// Dense is a fully connected layer over flat [In] samples or [N,In]
+// batches.
 type Dense struct {
 	In, Out int
 
@@ -17,8 +18,6 @@ type Dense struct {
 
 	GW []float32
 	GB []float32
-
-	x *tensor.T
 }
 
 // NewDense creates a dense layer with He-uniform initialised weights.
@@ -38,37 +37,67 @@ func NewDense(in, out int, rng *rand.Rand) *Dense {
 }
 
 // Forward implements Layer.
-func (d *Dense) Forward(x *tensor.T) *tensor.T {
-	if x.Len() != d.In {
+func (d *Dense) Forward(x *tensor.T, st *State) *tensor.T {
+	n, sample := batchDims(x, 1)
+	if len(sample) != 1 || sample[0] != d.In {
 		panic(fmt.Sprintf("nn: Dense expects %d inputs, got shape %v", d.In, x.Shape))
 	}
-	d.x = x
-	y := tensor.New(d.Out)
-	for o := 0; o < d.Out; o++ {
-		w := d.W[o*d.In : (o+1)*d.In]
-		var s float32
-		for i, v := range x.Data {
-			s += w[i] * v
+	st.x = x
+	var y *tensor.T
+	if len(x.Shape) == 2 {
+		y = tensor.New(n, d.Out)
+	} else {
+		y = tensor.New(d.Out)
+	}
+	for s := 0; s < n; s++ {
+		xd := x.Data[s*d.In : (s+1)*d.In]
+		yd := y.Data[s*d.Out : (s+1)*d.Out]
+		for o := 0; o < d.Out; o++ {
+			w := d.W[o*d.In : (o+1)*d.In]
+			var sum float32
+			for i, v := range xd {
+				sum += w[i] * v
+			}
+			yd[o] = sum + d.B[o]
 		}
-		y.Data[o] = s + d.B[o]
 	}
 	return y
 }
 
 // Backward implements Layer.
-func (d *Dense) Backward(dy *tensor.T) *tensor.T {
-	dx := tensor.New(d.In)
-	for o := 0; o < d.Out; o++ {
-		g := dy.Data[o]
-		d.GB[o] += g
-		if g == 0 {
-			continue
-		}
-		w := d.W[o*d.In : (o+1)*d.In]
-		gw := d.GW[o*d.In : (o+1)*d.In]
-		for i, v := range d.x.Data {
-			gw[i] += g * v
-			dx.Data[i] += g * w[i]
+func (d *Dense) Backward(dy *tensor.T, st *State) *tensor.T {
+	x := st.x
+	n, _ := batchDims(x, 1)
+	var dx *tensor.T
+	if len(x.Shape) == 2 {
+		dx = tensor.New(n, d.In)
+	} else {
+		dx = tensor.New(d.In)
+	}
+	for s := 0; s < n; s++ {
+		xd := x.Data[s*d.In : (s+1)*d.In]
+		dxd := dx.Data[s*d.In : (s+1)*d.In]
+		dyd := dy.Data[s*d.Out : (s+1)*d.Out]
+		for o := 0; o < d.Out; o++ {
+			g := dyd[o]
+			if st.accumGrads {
+				d.GB[o] += g
+			}
+			if g == 0 {
+				continue
+			}
+			w := d.W[o*d.In : (o+1)*d.In]
+			if st.accumGrads {
+				gw := d.GW[o*d.In : (o+1)*d.In]
+				for i, v := range xd {
+					gw[i] += g * v
+					dxd[i] += g * w[i]
+				}
+			} else {
+				for i := range dxd {
+					dxd[i] += g * w[i]
+				}
+			}
 		}
 	}
 	return dx
@@ -79,8 +108,8 @@ func (d *Dense) Params() []Param {
 	return []Param{{Name: "W", W: d.W, G: d.GW}, {Name: "B", W: d.B, G: d.GB}}
 }
 
-// Clone implements Layer.
-func (d *Dense) Clone() Layer {
+// CloneForTraining implements ParamLayer.
+func (d *Dense) CloneForTraining() Layer {
 	return &Dense{
 		In: d.In, Out: d.Out, W: d.W, B: d.B,
 		GW: make([]float32, len(d.GW)),

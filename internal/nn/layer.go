@@ -5,28 +5,52 @@
 // and it serves as the adversary's white-box model — every gradient
 // attack differentiates through this stack.
 //
-// Layers process one sample at a time (shape [C,H,W] or [N]); data
-// parallelism is achieved by cloning the network per worker. Clones
-// share weight storage but own private gradient buffers and caches, so
-// concurrent Forward/Backward calls on different clones are safe as
-// long as weights are not updated concurrently.
+// Layers are stateless and batch-first: inputs are either a single
+// sample ([C,H,W] or [F]) or a batch with a leading sample dimension
+// ([N,C,H,W] or [N,F]), and all per-call scratch lives in an explicit
+// State owned by the caller. Network pools those States internally, so
+// concurrent Forward / Logits / LossGrad calls on one shared Network
+// are safe without cloning. The only remaining use of Network.Clone is
+// data-parallel training, where each worker needs private weight
+// gradient buffers.
 package nn
 
 import "repro/internal/tensor"
 
-// Layer is a differentiable network stage.
+// State carries the scratch one layer needs between a Forward call and
+// the matching Backward, plus reusable buffers that amortise
+// allocations across calls. A zero State is ready for use; Networks
+// recycle States through an internal pool.
+type State struct {
+	// accumGrads routes weight/bias gradients into the layer's shared
+	// G buffers during Backward. It is off for attack/inference passes
+	// (making them safe on a shared network) and on for training.
+	accumGrads bool
+
+	x     *tensor.T // layer input (conv, dense, pool)
+	cols  []float32 // conv im2col columns for the whole batch
+	dcols []float32 // conv backward per-sample column gradients
+	mask  []bool    // relu activation mask
+	shape []int     // flatten input shape
+}
+
+// release drops references to pass inputs so pooled States do not pin
+// batch tensors, while keeping the flat scratch buffers for reuse.
+func (st *State) release() { st.x = nil }
+
+// Layer is a differentiable network stage. Implementations must keep
+// all mutable per-call data in st so that a single Layer value can be
+// used concurrently with distinct States.
 type Layer interface {
-	// Forward computes the layer output and caches whatever Backward
-	// needs. The returned tensor is owned by the layer until the next
-	// Forward call.
-	Forward(x *tensor.T) *tensor.T
+	// Forward computes the layer output for a single sample or a batch,
+	// caching whatever Backward needs in st. The returned tensor is
+	// freshly allocated (or a view of one) and owned by the caller.
+	Forward(x *tensor.T, st *State) *tensor.T
 	// Backward consumes the gradient w.r.t. the layer output and
-	// returns the gradient w.r.t. the layer input, accumulating weight
-	// gradients (if any) into the layer's gradient buffers.
-	Backward(dy *tensor.T) *tensor.T
-	// Clone returns a copy sharing weights but owning fresh gradient
-	// buffers and caches.
-	Clone() Layer
+	// returns the gradient w.r.t. the layer input. Weight gradients are
+	// accumulated into the layer's gradient buffers only when st was
+	// prepared for training (see Network.AccumGrad).
+	Backward(dy *tensor.T, st *State) *tensor.T
 }
 
 // Param couples a weight slice with its gradient buffer.
@@ -40,4 +64,18 @@ type Param struct {
 type ParamLayer interface {
 	Layer
 	Params() []Param
+	// CloneForTraining returns a copy sharing weight storage but owning
+	// fresh gradient buffers, so data-parallel trainers can accumulate
+	// per-worker gradients without races.
+	CloneForTraining() Layer
+}
+
+// batchDims splits a layer input into (n, sampleShape) following the
+// batch convention: rank sampleRank+1 tensors carry a leading batch
+// dimension.
+func batchDims(x *tensor.T, sampleRank int) (n int, sample []int) {
+	if len(x.Shape) == sampleRank+1 {
+		return x.Shape[0], x.Shape[1:]
+	}
+	return 1, x.Shape
 }

@@ -2,32 +2,88 @@ package nn
 
 import (
 	"math"
+	"sync"
 
 	"repro/internal/tensor"
 )
 
 // Network is an ordered stack of layers ending in logits (no softmax
 // layer; the loss applies softmax internally).
+//
+// Networks are stateless with respect to inference: Forward, Logits,
+// LogitsBatch, LossGrad and LossGradBatch keep all scratch in pooled
+// per-call workspaces and never touch the shared gradient buffers, so
+// one Network value serves any number of goroutines concurrently.
+// Training uses Clone (private gradient buffers) plus AccumGrad.
 type Network struct {
 	Name   string
 	Layers []Layer
+
+	// passes recycles per-call workspaces (one State per layer).
+	passes sync.Pool
 }
 
-// Forward runs the full stack and returns the logits tensor.
-func (n *Network) Forward(x *tensor.T) *tensor.T {
-	for _, l := range n.Layers {
-		x = l.Forward(x)
+// pass is one forward/backward workspace: a State slot per layer.
+type pass struct {
+	states []State
+}
+
+func (n *Network) getPass(accumGrads bool) *pass {
+	p, _ := n.passes.Get().(*pass)
+	if p == nil || len(p.states) != len(n.Layers) {
+		p = &pass{states: make([]State, len(n.Layers))}
+	}
+	for i := range p.states {
+		p.states[i].accumGrads = accumGrads
+	}
+	return p
+}
+
+func (n *Network) putPass(p *pass) {
+	for i := range p.states {
+		p.states[i].release()
+	}
+	n.passes.Put(p)
+}
+
+func (n *Network) forward(x *tensor.T, p *pass) *tensor.T {
+	for i, l := range n.Layers {
+		x = l.Forward(x, &p.states[i])
 	}
 	return x
 }
 
-// Logits runs Forward and returns the logits as a plain slice. Together
-// with LossGrad it satisfies the attack package's model interfaces.
+func (n *Network) backward(g *tensor.T, p *pass) *tensor.T {
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		g = n.Layers[i].Backward(g, &p.states[i])
+	}
+	return g
+}
+
+// Forward runs the full stack on a single sample or a batch and
+// returns the logits tensor ([classes] or [N,classes]).
+func (n *Network) Forward(x *tensor.T) *tensor.T {
+	p := n.getPass(false)
+	y := n.forward(x, p)
+	n.putPass(p)
+	return y
+}
+
+// Logits runs Forward on one sample and returns the logits as a plain
+// slice. Together with LossGrad it satisfies the attack package's model
+// interfaces.
 func (n *Network) Logits(x *tensor.T) []float32 {
 	return n.Forward(x).Data
 }
 
-// Predict returns the argmax class for x.
+// LogitsBatch runs the stack on a batch [N, sampleShape...] and
+// returns the [N, classes] logits. Row r is bit-for-bit identical to
+// Logits on sample r alone.
+func (n *Network) LogitsBatch(xs *tensor.T) *tensor.T {
+	return n.Forward(xs)
+}
+
+// Predict returns the argmax class for a single sample.
 func (n *Network) Predict(x *tensor.T) int {
 	return tensor.ArgMax(n.Logits(x))
 }
@@ -35,26 +91,76 @@ func (n *Network) Predict(x *tensor.T) int {
 // ForwardTrace runs the stack and returns every intermediate output
 // (one per layer). Used by quantization calibration.
 func (n *Network) ForwardTrace(x *tensor.T) []*tensor.T {
+	p := n.getPass(false)
 	outs := make([]*tensor.T, len(n.Layers))
 	for i, l := range n.Layers {
-		x = l.Forward(x)
+		x = l.Forward(x, &p.states[i])
 		outs[i] = x
 	}
+	n.putPass(p)
 	return outs
 }
 
 // LossGrad computes the softmax cross-entropy loss for (x, label), and
-// the gradient of that loss w.r.t. x. Weight gradients are accumulated
-// into the layers' buffers as a side effect (call ZeroGrads between
-// optimizer steps; attacks can ignore them on cloned networks).
+// the gradient of that loss w.r.t. x. Weight gradients are NOT
+// accumulated — the call is read-only on the network and safe for
+// concurrent use (gradient attacks hammer this from many goroutines).
 func (n *Network) LossGrad(x *tensor.T, label int) (float32, *tensor.T) {
-	logits := n.Forward(x)
+	p := n.getPass(false)
+	logits := n.forward(x, p)
 	loss, dlogits := SoftmaxCE(logits.Data, label)
-	g := tensor.FromSlice(dlogits, logits.Shape...)
-	for i := len(n.Layers) - 1; i >= 0; i-- {
-		g = n.Layers[i].Backward(g)
-	}
+	g := n.backward(tensor.FromSlice(dlogits, logits.Shape...), p)
+	n.putPass(p)
 	return loss, g
+}
+
+// LossGradBatch is the batched LossGrad: xs is [N, sampleShape...],
+// labels has length N. It returns the per-sample losses and the
+// [N, sampleShape...] input gradient, each row bit-for-bit identical
+// to the scalar LossGrad on that sample.
+func (n *Network) LossGradBatch(xs *tensor.T, labels []int) ([]float32, *tensor.T) {
+	p := n.getPass(false)
+	logits := n.forward(xs, p)
+	rows, classes := logits.Shape[0], logits.Shape[1]
+	losses := make([]float32, rows)
+	dlogits := tensor.New(rows, classes)
+	for r := 0; r < rows; r++ {
+		loss, dl := SoftmaxCE(logits.Data[r*classes:(r+1)*classes], labels[r])
+		losses[r] = loss
+		copy(dlogits.Data[r*classes:(r+1)*classes], dl)
+	}
+	g := n.backward(dlogits, p)
+	n.putPass(p)
+	return losses, g
+}
+
+// AccumGrad runs a training pass for (x, label): forward, loss, and
+// backward with weight gradients accumulated into the network's G
+// buffers. Unlike LossGrad it mutates shared state, so concurrent
+// training workers must call it on private Clones.
+func (n *Network) AccumGrad(x *tensor.T, label int) float32 {
+	p := n.getPass(true)
+	logits := n.forward(x, p)
+	loss, dlogits := SoftmaxCE(logits.Data, label)
+	n.backward(tensor.FromSlice(dlogits, logits.Shape...), p)
+	n.putPass(p)
+	return loss
+}
+
+// WeightsFingerprint folds every parameter into a cheap FNV-style
+// hash. Caches keyed by network identity combine it with the pointer
+// so a network retrained in place never matches its pre-training
+// entries.
+func (n *Network) WeightsFingerprint() uint64 {
+	const prime = 1099511628211
+	var h uint64 = 14695981039346656037
+	for _, p := range n.Params() {
+		for _, w := range p.W {
+			h ^= uint64(math.Float32bits(w))
+			h *= prime
+		}
+	}
+	return h
 }
 
 // Params returns all trainable parameters in layer order.
@@ -78,12 +184,19 @@ func (n *Network) ZeroGrads() {
 }
 
 // Clone returns a network sharing weights with n but owning private
-// gradient buffers and caches, for data-parallel training and
-// concurrent attack generation.
+// weight-gradient buffers. It exists for data-parallel training
+// (AccumGrad); inference and attacks never need it — the stateless
+// forward/backward paths are already concurrency-safe on a shared
+// Network.
 func (n *Network) Clone() *Network {
 	c := &Network{Name: n.Name, Layers: make([]Layer, len(n.Layers))}
 	for i, l := range n.Layers {
-		c.Layers[i] = l.Clone()
+		if pl, ok := l.(ParamLayer); ok {
+			c.Layers[i] = pl.CloneForTraining()
+		} else {
+			// Stateless layers are shared as-is.
+			c.Layers[i] = l
+		}
 	}
 	return c
 }

@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -68,12 +69,13 @@ func TestInputGradientNumerically(t *testing.T) {
 }
 
 // TestWeightGradientNumerically validates weight gradients for conv and
-// dense layers by finite differences.
+// dense layers by finite differences. Training passes accumulate via
+// AccumGrad; plain LossGrad must leave the buffers untouched.
 func TestWeightGradientNumerically(t *testing.T) {
 	net := smallConvNet(3)
 	x := randInput([]int{2, 6, 6}, 4)
 	net.ZeroGrads()
-	net.LossGrad(x, 1)
+	net.AccumGrad(x, 1)
 	params := net.Params()
 	const h = 1e-3
 	for pi, p := range params {
@@ -121,14 +123,18 @@ func TestSoftmaxCEStability(t *testing.T) {
 func TestConvOutputShape(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	c := NewConv2D(1, 6, 5, 1, 2, rng)
-	y := c.Forward(tensor.New(1, 28, 28))
+	y := c.Forward(tensor.New(1, 28, 28), &State{})
 	if y.Shape[0] != 6 || y.Shape[1] != 28 || y.Shape[2] != 28 {
 		t.Fatalf("conv output shape %v", y.Shape)
 	}
 	c2 := NewConv2D(1, 2, 5, 1, 0, rng)
-	y2 := c2.Forward(tensor.New(1, 28, 28))
+	y2 := c2.Forward(tensor.New(1, 28, 28), &State{})
 	if y2.Shape[1] != 24 {
 		t.Fatalf("no-pad conv output %v", y2.Shape)
+	}
+	yb := c.Forward(tensor.New(3, 1, 28, 28), &State{})
+	if len(yb.Shape) != 4 || yb.Shape[0] != 3 || yb.Shape[1] != 6 {
+		t.Fatalf("batched conv output shape %v", yb.Shape)
 	}
 }
 
@@ -140,18 +146,19 @@ func TestConvRejectsWrongChannels(t *testing.T) {
 			t.Fatal("conv must panic on channel mismatch")
 		}
 	}()
-	c.Forward(tensor.New(1, 8, 8))
+	c.Forward(tensor.New(1, 8, 8), &State{})
 }
 
 func TestAvgPool(t *testing.T) {
 	p := NewAvgPool2D(2, 0)
+	st := &State{}
 	x := tensor.FromSlice([]float32{1, 2, 3, 4}, 1, 2, 2)
-	y := p.Forward(x)
+	y := p.Forward(x, st)
 	if y.Len() != 1 || y.Data[0] != 2.5 {
 		t.Fatalf("avgpool got %v", y.Data)
 	}
 	dy := tensor.FromSlice([]float32{4}, 1, 1, 1)
-	dx := p.Backward(dy)
+	dx := p.Backward(dy, st)
 	for _, v := range dx.Data {
 		if v != 1 {
 			t.Fatalf("avgpool backward %v", dx.Data)
@@ -161,12 +168,13 @@ func TestAvgPool(t *testing.T) {
 
 func TestReLU(t *testing.T) {
 	r := &ReLU{}
+	st := &State{}
 	x := tensor.FromSlice([]float32{-1, 2}, 2)
-	y := r.Forward(x)
+	y := r.Forward(x, st)
 	if y.Data[0] != 0 || y.Data[1] != 2 {
 		t.Fatal("relu forward wrong")
 	}
-	dx := r.Backward(tensor.FromSlice([]float32{5, 5}, 2))
+	dx := r.Backward(tensor.FromSlice([]float32{5, 5}, 2), st)
 	if dx.Data[0] != 0 || dx.Data[1] != 5 {
 		t.Fatal("relu backward wrong")
 	}
@@ -174,13 +182,23 @@ func TestReLU(t *testing.T) {
 
 func TestFlattenRoundTrip(t *testing.T) {
 	f := &Flatten{}
-	y := f.Forward(tensor.New(2, 3, 4))
+	st := &State{}
+	y := f.Forward(tensor.New(2, 3, 4), st)
 	if len(y.Shape) != 1 || y.Len() != 24 {
 		t.Fatal("flatten forward wrong")
 	}
-	dx := f.Backward(tensor.New(24))
+	dx := f.Backward(tensor.New(24), st)
 	if len(dx.Shape) != 3 || dx.Shape[0] != 2 {
 		t.Fatal("flatten backward shape wrong")
+	}
+	// Batched round trip keeps the leading sample dimension.
+	yb := f.Forward(tensor.New(5, 2, 3, 4), st)
+	if len(yb.Shape) != 2 || yb.Shape[0] != 5 || yb.Shape[1] != 24 {
+		t.Fatalf("batched flatten forward %v", yb.Shape)
+	}
+	dxb := f.Backward(tensor.New(5, 24), st)
+	if len(dxb.Shape) != 4 || dxb.Shape[0] != 5 {
+		t.Fatalf("batched flatten backward %v", dxb.Shape)
 	}
 }
 
@@ -191,36 +209,73 @@ func TestCloneSharesWeightsNotGrads(t *testing.T) {
 	if &net.Params()[0].W[0] != &c.Params()[0].W[0] {
 		t.Fatal("clone must share weights")
 	}
-	// Different gradient storage.
+	// Different gradient storage: training on the clone stays private.
 	x := randInput([]int{2, 6, 6}, 6)
-	c.LossGrad(x, 0)
+	c.AccumGrad(x, 0)
 	var orig float32
 	for _, g := range net.Params()[0].G {
 		orig += g * g
 	}
 	if orig != 0 {
-		t.Fatal("clone backward leaked into master grads")
+		t.Fatal("clone training pass leaked into master grads")
+	}
+	var cloned float32
+	for _, g := range c.Params()[0].G {
+		cloned += g * g
+	}
+	if cloned == 0 {
+		t.Fatal("AccumGrad on the clone accumulated nothing")
 	}
 }
 
-func TestCloneConcurrentForward(t *testing.T) {
+// TestLossGradLeavesWeightGradsUntouched pins the statelessness
+// contract attacks rely on: LossGrad computes input gradients without
+// writing to the shared weight-gradient buffers.
+func TestLossGradLeavesWeightGradsUntouched(t *testing.T) {
+	net := smallConvNet(5)
+	net.ZeroGrads()
+	x := randInput([]int{2, 6, 6}, 6)
+	net.LossGrad(x, 0)
+	for _, p := range net.Params() {
+		for _, g := range p.G {
+			if g != 0 {
+				t.Fatal("LossGrad accumulated weight gradients")
+			}
+		}
+	}
+}
+
+// TestSharedNetworkConcurrentForward exercises the stateless design:
+// many goroutines call Forward and LossGrad on ONE shared network (no
+// clones) and must all see identical results.
+func TestSharedNetworkConcurrentForward(t *testing.T) {
 	net := smallConvNet(7)
 	x := randInput([]int{2, 6, 6}, 8)
-	want := net.Clone().Logits(x)
-	done := make(chan []float32, 8)
-	for i := 0; i < 8; i++ {
+	want := append([]float32(nil), net.Logits(x)...)
+	_, wantGrad := net.LossGrad(x, 1)
+	done := make(chan error, 16)
+	for i := 0; i < 16; i++ {
 		go func() {
-			c := net.Clone()
-			out := append([]float32(nil), c.Logits(x)...)
-			done <- out
+			out := append([]float32(nil), net.Logits(x)...)
+			for j := range want {
+				if out[j] != want[j] {
+					done <- errors.New("concurrent shared forward diverged")
+					return
+				}
+			}
+			_, g := net.LossGrad(x, 1)
+			for j := range wantGrad.Data {
+				if g.Data[j] != wantGrad.Data[j] {
+					done <- errors.New("concurrent shared LossGrad diverged")
+					return
+				}
+			}
+			done <- nil
 		}()
 	}
-	for i := 0; i < 8; i++ {
-		got := <-done
-		for j := range want {
-			if got[j] != want[j] {
-				t.Fatal("concurrent clone forward diverged")
-			}
+	for i := 0; i < 16; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
 		}
 	}
 }

@@ -1,6 +1,13 @@
 // Package tensor provides the small dense float32 tensor used across the
 // DNN stack: row-major storage, explicit shapes, and the vector
 // operations the adversarial attacks need (norms, projections, clamps).
+//
+// Batch convention: a batched tensor packs N samples along a leading
+// dimension — [N, C, H, W] for images, [N, F] for flat vectors. Row
+// accessors (Row, RowView) return views sharing the underlying storage,
+// and the *Rows helpers apply the corresponding per-sample operation to
+// every row with the same element order as the scalar operation, so
+// batched and per-sample code paths agree bit for bit.
 package tensor
 
 import (
@@ -190,4 +197,94 @@ func ArgMax(v []float32) int {
 		}
 	}
 	return bi
+}
+
+// Stack copies the given same-shaped samples into one fresh batched
+// tensor of shape [len(xs), sampleShape...].
+func Stack(xs []*T) *T {
+	if len(xs) == 0 {
+		panic("tensor: Stack of empty sample list")
+	}
+	shape := append([]int{len(xs)}, xs[0].Shape...)
+	b := New(shape...)
+	stride := xs[0].Len()
+	for i, x := range xs {
+		if x.Len() != stride {
+			panic(fmt.Sprintf("tensor: Stack sample %d has %d elements, want %d", i, x.Len(), stride))
+		}
+		copy(b.Data[i*stride:(i+1)*stride], x.Data)
+	}
+	return b
+}
+
+// Rows returns the leading (batch) dimension.
+func (t *T) Rows() int { return t.Shape[0] }
+
+// RowLen returns the number of elements per row (sample).
+func (t *T) RowLen() int { return t.Len() / t.Shape[0] }
+
+// Row returns a view of sample i with the per-sample shape, sharing
+// storage with t.
+func (t *T) Row(i int) *T {
+	stride := t.RowLen()
+	return &T{Shape: append([]int(nil), t.Shape[1:]...), Data: t.Data[i*stride : (i+1)*stride]}
+}
+
+// RowView returns rows [lo, hi) as a batched view sharing storage.
+func (t *T) RowView(lo, hi int) *T {
+	stride := t.RowLen()
+	shape := append([]int{hi - lo}, t.Shape[1:]...)
+	return &T{Shape: shape, Data: t.Data[lo*stride : hi*stride]}
+}
+
+// ArgMaxRows returns the per-row argmax of a batched tensor (for
+// [N, classes] logits: the predicted class of every sample).
+func ArgMaxRows(t *T) []int {
+	n, stride := t.Rows(), t.RowLen()
+	out := make([]int, n)
+	for r := 0; r < n; r++ {
+		out[r] = ArgMax(t.Data[r*stride : (r+1)*stride])
+	}
+	return out
+}
+
+// L2NormRows returns the per-row Euclidean norms of a batched tensor.
+// Delegating to the scalar norm per row keeps the accumulation order
+// identical by construction.
+func L2NormRows(t *T) []float64 {
+	out := make([]float64, t.Rows())
+	for r := range out {
+		out[r] = t.Row(r).L2Norm()
+	}
+	return out
+}
+
+// LinfNormRows returns the per-row max-abs norms of a batched tensor.
+func LinfNormRows(t *T) []float64 {
+	out := make([]float64, t.Rows())
+	for r := range out {
+		out[r] = t.Row(r).LinfNorm()
+	}
+	return out
+}
+
+// ProjectL2Rows applies ProjectL2 to every row of t around the matching
+// row of center.
+func ProjectL2Rows(t, center *T, eps float64) {
+	if !t.SameShape(center) {
+		panic("tensor: ProjectL2Rows shape mismatch")
+	}
+	for r := 0; r < t.Rows(); r++ {
+		ProjectL2(t.Row(r), center.Row(r), eps)
+	}
+}
+
+// ProjectLinfRows clips every row of t into the elementwise eps-box
+// around center. The operation is elementwise, so the batched form is
+// identical to per-row ProjectLinf.
+func ProjectLinfRows(t, center *T, eps float64) {
+	if !t.SameShape(center) {
+		panic("tensor: ProjectLinfRows shape mismatch")
+	}
+	ProjectLinf(t, center, eps)
 }

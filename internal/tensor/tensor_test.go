@@ -160,3 +160,80 @@ func TestSameShape(t *testing.T) {
 		t.Fatal("SameShape rank mismatch")
 	}
 }
+
+func TestStackAndRowViews(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3, 4}, 1, 2, 2)
+	b := FromSlice([]float32{5, 6, 7, 8}, 1, 2, 2)
+	s := Stack([]*T{a, b})
+	if len(s.Shape) != 4 || s.Shape[0] != 2 || s.Rows() != 2 || s.RowLen() != 4 {
+		t.Fatalf("Stack shape %v", s.Shape)
+	}
+	r1 := s.Row(1)
+	if len(r1.Shape) != 3 || r1.Data[0] != 5 {
+		t.Fatalf("Row(1) = %v %v", r1.Shape, r1.Data)
+	}
+	// Row is a view: writes reach the batch.
+	r1.Data[0] = 50
+	if s.Data[4] != 50 {
+		t.Fatal("Row must share storage")
+	}
+	v := s.RowView(1, 2)
+	if v.Rows() != 1 || v.Data[0] != 50 {
+		t.Fatalf("RowView = %v %v", v.Shape, v.Data)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Stack with mismatched sample sizes must panic")
+		}
+	}()
+	Stack([]*T{a, New(3)})
+}
+
+func TestArgMaxRows(t *testing.T) {
+	s := FromSlice([]float32{0, 9, 1, 7, 2, 3}, 2, 3)
+	got := ArgMaxRows(s)
+	if got[0] != 1 || got[1] != 0 {
+		t.Fatalf("ArgMaxRows = %v", got)
+	}
+}
+
+// TestRowOpsMatchScalar pins the batched/scalar parity contract: every
+// *Rows helper must produce bit-identical results to applying the
+// scalar operation to each row.
+func TestRowOpsMatchScalar(t *testing.T) {
+	batch := FromSlice([]float32{3, -4, 0, 0.6, -0.8, 0.1}, 2, 3)
+	center := FromSlice([]float32{0, 0, 0, 0.5, -0.5, 0}, 2, 3)
+
+	l2 := L2NormRows(batch)
+	linf := LinfNormRows(batch)
+	for r := 0; r < 2; r++ {
+		if l2[r] != batch.Row(r).L2Norm() {
+			t.Fatalf("L2NormRows[%d] = %v, scalar %v", r, l2[r], batch.Row(r).L2Norm())
+		}
+		if linf[r] != batch.Row(r).LinfNorm() {
+			t.Fatalf("LinfNormRows[%d] mismatch", r)
+		}
+	}
+
+	bl2, sl2 := batch.Clone(), batch.Clone()
+	ProjectL2Rows(bl2, center, 0.25)
+	for r := 0; r < 2; r++ {
+		ProjectL2(sl2.Row(r), center.Row(r), 0.25)
+	}
+	for i := range bl2.Data {
+		if bl2.Data[i] != sl2.Data[i] {
+			t.Fatalf("ProjectL2Rows diverged from scalar at %d", i)
+		}
+	}
+
+	bli, sli := batch.Clone(), batch.Clone()
+	ProjectLinfRows(bli, center, 0.25)
+	for r := 0; r < 2; r++ {
+		ProjectLinf(sli.Row(r), center.Row(r), 0.25)
+	}
+	for i := range bli.Data {
+		if bli.Data[i] != sli.Data[i] {
+			t.Fatalf("ProjectLinfRows diverged from scalar at %d", i)
+		}
+	}
+}

@@ -1,9 +1,11 @@
 // Package train implements minibatch SGD training of internal/nn
 // networks with data parallelism across goroutines: each worker owns a
-// network clone (shared weights, private gradients), per-batch worker
-// gradients are reduced into the master buffers, and a momentum update
-// is applied. Also provides parallel accuracy evaluation used
-// throughout the experiments.
+// network clone (shared weights, private weight-gradient buffers),
+// per-batch worker gradients are reduced into the master buffers, and
+// a momentum update is applied. Cloning here is only about gradient
+// accumulation — the forward/backward passes themselves are stateless.
+// Also provides parallel accuracy evaluation used throughout the
+// experiments.
 package train
 
 import (
@@ -94,8 +96,7 @@ func Fit(net *nn.Network, set *dataset.Set, cfg Config) float64 {
 					c := clones[w]
 					for bi := w; bi < len(batch); bi += workers {
 						i := batch[bi]
-						loss, _ := c.LossGrad(set.X[i], set.Y[i])
-						losses[w] += float64(loss)
+						losses[w] += float64(c.AccumGrad(set.X[i], set.Y[i]))
 					}
 				}(w)
 			}
@@ -141,15 +142,18 @@ type Predictor interface {
 }
 
 // Accuracy evaluates pred on up to limit samples of set (0 = all) in
-// parallel and returns the fraction correct.
+// parallel and returns the fraction correct. Both float nn networks
+// and compiled axnn networks are concurrency-safe, so a shared
+// predictor is fine.
 func Accuracy(pred Predictor, set *dataset.Set, limit int) float64 {
 	s := set.Slice(limit)
 	return accuracyParallel(func() Predictor { return pred }, s)
 }
 
 // AccuracyCloned is Accuracy for predictors whose Logits is not
-// concurrency-safe (float nn networks cache activations); factory must
-// return a fresh or cloned predictor per worker.
+// concurrency-safe; factory must return a fresh predictor per worker.
+// The in-tree models no longer need it (stateless inference) — it
+// remains for external Predictor implementations with per-call state.
 func AccuracyCloned(factory func() Predictor, set *dataset.Set, limit int) float64 {
 	return accuracyParallel(factory, set.Slice(limit))
 }

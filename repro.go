@@ -19,8 +19,7 @@
 //
 // Executables under cmd/ (axtrain, axrobust, axtransfer, axquant,
 // axmultinfo) drive the experiments; bench_test.go regenerates every
-// figure and table of the paper. See README.md, DESIGN.md and
-// EXPERIMENTS.md.
+// figure and table of the paper. See README.md.
 package repro
 
 // Version identifies the reproduction snapshot.
