@@ -191,7 +191,11 @@ func BenchmarkFig8_Quantization(b *testing.B) {
 		for _, atk := range attack.All() {
 			g := core.RobustnessGrid(m.Net, victims, m.Test, atk, paperEps, opts)
 			out += g.String()
-			q, f := g.Column(victims[1].Name), g.Column("float")
+			q, qok := g.Column(victims[1].Name)
+			f, fok := g.Column("float")
+			if !qok || !fok {
+				b.Fatalf("grid missing quantized/float column: %v", g.Victims)
+			}
 			for j := range q {
 				total++
 				if q[j] >= f[j] {
@@ -219,8 +223,14 @@ func BenchmarkTable2_Transferability(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		out := ""
 		for _, fam := range families {
-			ln := modelzoo.MustGet(fam.lenet)
-			ax := modelzoo.MustGet(fam.alex)
+			ln, err := modelzoo.Get(fam.lenet)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ax, err := modelzoo.Get(fam.alex)
+			if err != nil {
+				b.Fatal(err)
+			}
 			// Victims use their dataset-appropriate multiplier (the
 			// paper selects multipliers per error resilience): 17KS for
 			// LeNet-5, KEM for the deeper AlexNet.

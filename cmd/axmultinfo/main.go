@@ -8,9 +8,9 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 
 	"repro/internal/axmult"
+	"repro/internal/cli"
 	"repro/internal/energy"
 	"repro/internal/errmodel"
 )
@@ -33,21 +33,16 @@ func main() {
 	for _, n := range names {
 		m, err := errmodel.MeasureNamed(n)
 		if err != nil {
-			fail(err)
+			cli.Fail("axmultinfo", err)
 		}
 		fmt.Printf("%-14s %10.4f %10.3f %10.3f %+10.1f %8.3f", m.Name, m.MAEP, m.WCEP, m.MRE, m.Bias, m.EP)
 		if *withEnergy {
 			c, err := energy.Estimate(n)
 			if err != nil {
-				fail(err)
+				cli.Fail("axmultinfo", err)
 			}
 			fmt.Printf(" %7.2fx %7.2fx %7.2fx", c.Energy, c.Area, c.Delay)
 		}
 		fmt.Println()
 	}
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "axmultinfo:", err)
-	os.Exit(1)
 }

@@ -13,10 +13,10 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 
 	"repro/internal/attack"
 	"repro/internal/axnn"
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/modelzoo"
 )
@@ -26,29 +26,35 @@ func main() {
 	n := flag.Int("n", 300, "test samples")
 	bits := flag.Uint("bits", 8, "quantization level (Qlevel)")
 	mult := flag.String("mult", "", "optional approximate multiplier column")
+	epsList := flag.String("eps", "0,0.05,0.1,0.15,0.2,0.25,0.5,1,1.5,2", "comma-separated perturbation budgets")
 	flag.Parse()
 
 	m, err := modelzoo.Get(*model)
 	if err != nil {
-		fail(err)
+		cli.Fail("axquant", err)
 	}
 	victims, err := core.QuantPair(m.Net, m.Test, *bits)
 	if err != nil {
-		fail(err)
+		cli.Fail("axquant", err)
 	}
 	if *mult != "" {
 		ax, err := core.BuildAxVictims(m.Net, m.Test, []string{*mult}, axnn.Options{Bits: *bits})
 		if err != nil {
-			fail(err)
+			cli.Fail("axquant", err)
 		}
 		victims = append(victims, ax...)
 	}
 
-	eps := []float64{0, 0.05, 0.1, 0.15, 0.2, 0.25, 0.5, 1, 1.5, 2}
+	eps, err := cli.ParseEps(*epsList)
+	if err != nil {
+		cli.Fail("axquant", err)
+	}
 	for _, atk := range attack.All() {
 		g := core.RobustnessGrid(m.Net, victims, m.Test, atk, eps, core.Options{Samples: *n, Seed: 5})
 		fmt.Print(g)
-		if q, f := g.Column(victims[1].Name), g.Column("float"); q != nil && f != nil {
+		q, qok := g.Column(victims[1].Name)
+		f, fok := g.Column("float")
+		if qok && fok {
 			var qWins int
 			for i := range q {
 				if q[i] >= f[i] {
@@ -58,9 +64,4 @@ func main() {
 			fmt.Printf("-> quantized >= float on %d/%d budgets\n\n", qWins, len(eps))
 		}
 	}
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "axquant:", err)
-	os.Exit(1)
 }

@@ -1,88 +1,126 @@
-// Command axrobust runs the paper's robustness evaluation (Algorithm 1):
-// it crafts adversarial examples on the accurate float model and sweeps
-// them over AxDNN victims built from a multiplier set, printing the
-// robustness grid in the layout of the paper's Figs. 4-7.
+// Command axrobust runs the paper's robustness evaluation (Algorithm 1)
+// as a declared suite: it crafts adversarial examples on the accurate
+// float model and sweeps them over AxDNN victims built from a
+// multiplier set, one grid per attack, in the layout of the paper's
+// Figs. 4-7.
+//
+// A suite is declared either by flags or by a JSON spec file
+// (internal/experiment.Spec); explicitly set flags override the spec's
+// fields, so a checked-in spec can be re-run at a different scale with
+// e.g. -n 8. Ctrl-C cancels the sweep cleanly mid-cell.
 //
 // Examples:
 //
 //	axrobust -model lenet5-digits -attack BIM-linf
-//	axrobust -model alexnet-objects -set cifar -attack RAU-linf -n 100
-//	axrobust -model lenet5-digits -attack CR-l2 -mults mul8u_1JFF,mul8u_JV3
+//	axrobust -model lenet5-digits -attack BIM-linf,FGM-linf -progress
+//	axrobust -spec testdata/specs/fig4.json -format csv
+//	axrobust -spec testdata/specs/fig4c.json -n 8
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
+	"os/signal"
 	"strings"
 
 	"repro/internal/attack"
-	"repro/internal/axmult"
-	"repro/internal/axnn"
-	"repro/internal/core"
+	"repro/internal/cli"
+	"repro/internal/experiment"
 	"repro/internal/modelzoo"
 )
 
 func main() {
+	specPath := flag.String("spec", "", "run the suite declared in this JSON spec file")
 	model := flag.String("model", "lenet5-digits", "trained model: "+strings.Join(modelzoo.Names(), ", "))
-	atkName := flag.String("attack", "BIM-linf", "attack name (FGM|BIM|PGD|CR|RAG|RAU)-(l2|linf)")
+	atkNames := flag.String("attack", "BIM-linf", "comma-separated attack names, from: "+strings.Join(attack.Names(), ", "))
 	mults := flag.String("mults", "mnist", `multiplier set: "mnist", "cifar", or comma-separated names`)
 	epsList := flag.String("eps", "0,0.05,0.1,0.15,0.2,0.25,0.5,1,1.5,2", "comma-separated perturbation budgets")
 	n := flag.Int("n", 300, "test samples")
 	seed := flag.Int64("seed", 7, "attack randomness seed")
 	bits := flag.Uint("bits", 8, "quantization level (Qlevel)")
 	approxDense := flag.Bool("approx-dense", false, "route dense-layer products through the approximate multiplier")
+	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	format := flag.String("format", "text", "output format: text, json, csv")
+	progress := flag.Bool("progress", false, "stream per-cell progress to stderr")
 	flag.Parse()
 
-	atk := attack.ByName(*atkName)
-	if atk == nil {
-		fail(fmt.Errorf("unknown attack %q", *atkName))
-	}
-	var names []string
-	switch *mults {
-	case "mnist":
-		names = axmult.MNISTSet()
-	case "cifar":
-		names = axmult.CIFARSet()
+	switch *format {
+	case "text", "json", "csv":
 	default:
-		names = strings.Split(*mults, ",")
-	}
-	eps, err := parseEps(*epsList)
-	if err != nil {
-		fail(err)
+		cli.Fail("axrobust", fmt.Errorf("unknown format %q (want text, json, or csv)", *format))
 	}
 
-	m, err := modelzoo.Get(*model)
+	eps, err := cli.ParseEps(*epsList)
 	if err != nil {
-		fail(err)
+		cli.Fail("axrobust", err)
 	}
-	fmt.Printf("%s: clean float accuracy %.1f%%\n", *model, m.CleanAcc)
-
-	victims, err := core.BuildAxVictims(m.Net, m.Test, names, axnn.Options{Bits: *bits, ApproxDense: *approxDense})
-	if err != nil {
-		fail(err)
-	}
-	grid := core.RobustnessGrid(m.Net, victims, m.Test, atk, eps, core.Options{Samples: *n, Seed: *seed})
-	fmt.Print(grid)
-	if loss, victim, at := grid.MaxAccuracyLoss(); loss > 0 {
-		fmt.Printf("max accuracy loss: %.0f%% on %s at eps=%g\n", loss, victim, at)
-	}
-}
-
-func parseEps(s string) ([]float64, error) {
-	var eps []float64
-	for _, tok := range strings.Split(s, ",") {
-		v, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
-		if err != nil {
-			return nil, fmt.Errorf("bad eps %q: %w", tok, err)
+	// One flag-to-spec mapping serves both modes: with a spec file,
+	// only explicitly set flags override it (flag.Visit); without one,
+	// every flag's value — default or explicit — fills the spec
+	// (flag.VisitAll).
+	spec := &experiment.Spec{}
+	applyFlag := func(f *flag.Flag) {
+		switch f.Name {
+		case "model":
+			spec.Model = *model
+		case "attack":
+			spec.Attacks = cli.ParseList(*atkNames)
+		case "mults":
+			spec.Multipliers = cli.ParseList(*mults)
+		case "eps":
+			spec.Eps = eps
+		case "n":
+			spec.Samples = *n
+		case "seed":
+			spec.Seed = *seed
+		case "bits":
+			spec.Bits = *bits
+		case "approx-dense":
+			spec.ApproxDense = *approxDense
+		case "workers":
+			spec.Workers = *workers
 		}
-		eps = append(eps, v)
 	}
-	return eps, nil
-}
+	if *specPath != "" {
+		if spec, err = experiment.Load(*specPath); err != nil {
+			cli.Fail("axrobust", err)
+		}
+		flag.Visit(applyFlag)
+	} else {
+		flag.VisitAll(applyFlag)
+	}
 
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "axrobust:", err)
-	os.Exit(1)
+	var engineOpts []experiment.Option
+	if *progress {
+		engineOpts = append(engineOpts, experiment.WithProgress(experiment.Progress(os.Stderr)))
+	}
+	eng := experiment.New(engineOpts...)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	rep, err := eng.Run(ctx, spec)
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			cli.Fail("axrobust", fmt.Errorf("interrupted: %w", err))
+		}
+		cli.Fail("axrobust", err)
+	}
+
+	switch *format {
+	case "text":
+		fmt.Printf("%s: clean float accuracy %.1f%%\n", spec.Model, rep.CleanAcc)
+		fmt.Print(rep)
+	case "json":
+		if err := rep.WriteJSON(os.Stdout); err != nil {
+			cli.Fail("axrobust", err)
+		}
+	case "csv":
+		if err := rep.WriteCSV(os.Stdout); err != nil {
+			cli.Fail("axrobust", err)
+		}
+	}
 }

@@ -14,6 +14,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/cli"
 	"repro/internal/modelzoo"
 )
 
@@ -26,8 +27,7 @@ func main() {
 		start := time.Now()
 		m, err := modelzoo.Get(n)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "axtrain:", err)
-			os.Exit(1)
+			cli.Fail("axtrain", err)
 		}
 		fmt.Printf("%-18s clean accuracy %.1f%%  (%s)\n", n, m.CleanAcc, time.Since(start).Round(time.Millisecond))
 	}

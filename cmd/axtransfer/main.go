@@ -6,32 +6,72 @@
 // Within each dataset both architectures consume the same input
 // geometry (28x28 digits are presented as 32x32x3 to both LeNet-5 and
 // AlexNet), so a perturbed image crafted on one model replays directly
-// on the other — the paper's black-box transfer scenario.
+// on the other — the paper's black-box transfer scenario. Each
+// (source, victim) cell is one experiment.Spec with victim_model set,
+// all run on a single engine; repeated cells (same source and victim
+// test set) replay from the engine cache. Cells with different victim
+// models craft afresh: the cache keys on the victim test set's
+// identity, and each model carries its own test-set instance.
 //
 // Usage:
 //
-//	axtransfer [-eps 0.05] [-n 300] [-mult mul8u_17KS]
+//	axtransfer [-eps 0.05] [-n 300] [-mult mul8u_17KS] [-progress]
+//	axtransfer -spec testdata/specs/table2-digits-cross.json
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
-	"repro/internal/attack"
-	"repro/internal/axnn"
-	"repro/internal/core"
-	"repro/internal/modelzoo"
+	"repro/internal/cli"
+	"repro/internal/experiment"
 )
 
 func main() {
+	specPath := flag.String("spec", "", "run one transfer cell declared in this JSON spec file")
 	eps := flag.Float64("eps", 0.05, "perturbation budget")
 	n := flag.Int("n", 300, "test samples per cell")
 	mult := flag.String("mult", "", "multiplier for all Ax victims (default: 17KS for LeNet, KEM for AlexNet)")
+	progress := flag.Bool("progress", false, "stream per-cell progress to stderr")
 	flag.Parse()
 
-	atk := attack.ByName("BIM-linf")
-	fmt.Printf("Transferability (Table II): %s eps=%g\n", atk.Name(), *eps)
+	var engineOpts []experiment.Option
+	if *progress {
+		engineOpts = append(engineOpts, experiment.WithProgress(experiment.Progress(os.Stderr)))
+	}
+	eng := experiment.New(engineOpts...)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if *specPath != "" {
+		spec, err := experiment.Load(*specPath)
+		if err != nil {
+			cli.Fail("axtransfer", err)
+		}
+		// Explicitly set flags override the spec, matching axrobust:
+		// a checked-in cell can be replayed at a different scale.
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "n":
+				spec.Samples = *n
+			case "eps":
+				spec.Eps = []float64{0, *eps}
+			case "mult":
+				spec.Multipliers = []string{*mult}
+			}
+		})
+		rep, err := eng.Run(ctx, spec)
+		if err != nil {
+			cli.Fail("axtransfer", err)
+		}
+		fmt.Print(rep)
+		return
+	}
+
+	fmt.Printf("Transferability (Table II): BIM-linf eps=%g\n", *eps)
 	fmt.Printf("%-36s %-8s %s\n", "source -> victim", "dataset", "clean/adv")
 
 	datasets := []struct {
@@ -52,33 +92,23 @@ func main() {
 						m = "mul8u_17KS"
 					}
 				}
-				res, err := runCell(source, victim, m, atk, *eps, *n)
-				if err != nil {
-					fail(err)
+				spec := &experiment.Spec{
+					Name:        source + "->" + victim,
+					Model:       source,
+					VictimModel: victim,
+					Multipliers: []string{m},
+					Attacks:     []string{"BIM-linf"},
+					Eps:         []float64{0, *eps},
+					Samples:     *n,
+					Seed:        17,
 				}
-				fmt.Printf("%-36s %-8s %3.0f/%-3.0f\n", source+" -> Ax("+victim+")", d.name, res.CleanAcc, res.AdvAcc)
+				rep, err := eng.Run(ctx, spec)
+				if err != nil {
+					cli.Fail("axtransfer", err)
+				}
+				g := rep.Grids[0]
+				fmt.Printf("%-36s %-8s %3.0f/%-3.0f\n", source+" -> Ax("+victim+")", d.name, g.Acc[0][0], g.Acc[1][0])
 			}
 		}
 	}
-}
-
-func runCell(source, victim, mult string, atk attack.Attack, eps float64, n int) (core.TransferResult, error) {
-	src, err := modelzoo.Get(source)
-	if err != nil {
-		return core.TransferResult{}, err
-	}
-	vic, err := modelzoo.Get(victim)
-	if err != nil {
-		return core.TransferResult{}, err
-	}
-	victims, err := core.BuildAxVictims(vic.Net, vic.Test, []string{mult}, axnn.Options{})
-	if err != nil {
-		return core.TransferResult{}, err
-	}
-	return core.Transfer(src.Net, victims[0], vic.Test, atk, eps, core.Options{Samples: n, Seed: 17}), nil
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "axtransfer:", err)
-	os.Exit(1)
 }

@@ -64,8 +64,8 @@ func main() {
 // summarize counts how often the approximate column beats the accurate
 // one — the "defensive" budgets.
 func summarize(g *core.Grid, ax string) {
-	acc := g.Column(g.Victims[0])
-	axc := g.Column(g.Victims[1])
+	acc, _ := g.Column(g.Victims[0])
+	axc, _ := g.Column(g.Victims[1])
 	wins := 0
 	for i := range acc {
 		if axc[i] > acc[i] {

@@ -37,9 +37,12 @@ func main() {
 	for _, name := range []string{"PGD-linf", "BIM-linf", "FGM-linf"} {
 		g := core.RobustnessGrid(m.Net, victims, m.Test, attack.ByName(name), eps, opts)
 		fmt.Print(g)
-		q := g.Column(g.Victims[1])
-		f := g.Column("float")
-		a := g.Column("mul8u_L40")
+		q, _ := g.Column(g.Victims[1])
+		f, fok := g.Column("float")
+		a, aok := g.Column("mul8u_L40")
+		if !fok || !aok {
+			log.Fatalf("grid missing expected columns: %v", g.Victims)
+		}
 		qHelps, axHurts := 0, 0
 		for i := range q {
 			if q[i] >= f[i] {

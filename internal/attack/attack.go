@@ -129,6 +129,17 @@ func All() []Attack {
 	}
 }
 
+// Names lists the attack names of the full suite, in Table I order —
+// the valid values for spec files and -attack flags.
+func Names() []string {
+	all := All()
+	names := make([]string, len(all))
+	for i, a := range all {
+		names[i] = a.Name()
+	}
+	return names
+}
+
 // ByName returns the attack whose Name matches, or nil.
 func ByName(name string) Attack {
 	for _, a := range All() {

@@ -1,0 +1,46 @@
+// Package cli holds the flag-parsing and output helpers shared by the
+// cmd tools, which previously each carried private copies of eps
+// parsing and error reporting. It deliberately depends on nothing
+// above the standard library, so every cmd binary (and, if ever
+// needed, the experiment engine itself) can use it without dragging
+// in the evaluation stack.
+package cli
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// ParseEps parses a comma-separated list of perturbation budgets.
+func ParseEps(s string) ([]float64, error) {
+	var eps []float64
+	for _, tok := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad eps %q: %w", tok, err)
+		}
+		eps = append(eps, v)
+	}
+	return eps, nil
+}
+
+// ParseList splits a comma-separated flag value into trimmed,
+// non-empty entries.
+func ParseList(s string) []string {
+	var out []string
+	for _, tok := range strings.Split(s, ",") {
+		if tok = strings.TrimSpace(tok); tok != "" {
+			out = append(out, tok)
+		}
+	}
+	return out
+}
+
+// Fail prints "tool: err" to stderr and exits non-zero — the shared
+// fatal-error path of every cmd tool.
+func Fail(tool string, err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+	os.Exit(1)
+}

@@ -1,0 +1,26 @@
+package cli
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseEps(t *testing.T) {
+	eps, err := ParseEps("0, 0.05,0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(eps, []float64{0, 0.05, 0.1}) {
+		t.Fatalf("ParseEps = %v", eps)
+	}
+	if _, err := ParseEps("0,zero"); err == nil {
+		t.Fatal("expected error for non-numeric eps")
+	}
+}
+
+func TestParseList(t *testing.T) {
+	got := ParseList(" a, b ,,c ")
+	if !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Fatalf("ParseList = %v", got)
+	}
+}

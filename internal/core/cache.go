@@ -1,0 +1,282 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/attack"
+	"repro/internal/dataset"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// CacheConfig bounds a Cache's retention. The zero value selects the
+// defaults.
+type CacheConfig struct {
+	// CraftBudget bounds the total float32 elements retained across
+	// crafted batches (default ~128 MB worth). Exceeding it resets the
+	// cache — a simple epoch eviction that keeps any one sweep fully
+	// cached while keeping long-lived processes bounded.
+	CraftBudget int64
+	// PredMax bounds the number of prediction memos independently of
+	// the craft budget: prediction slices are tiny, but their keys pin
+	// victim models, which must not accumulate forever in processes
+	// that keep compiling fresh victims over small sample sets.
+	PredMax int64
+}
+
+const (
+	defaultCraftBudget int64 = 32 << 20
+	defaultPredMax     int64 = 4096
+)
+
+// Cache memoises crafted adversarial batches and victim predictions
+// for one evaluation engine. Step 1 of Algorithm 1 is
+// victim-independent, so identical (source, samples, attack, eps,
+// seed) cells never need re-crafting; the victim side memoises per
+// (victim, batch) so overlapping sweeps — the attack-independent
+// eps=0 clean row, or the same cell across figures — replay nothing
+// twice.
+//
+// Each Cache is independent: two engines with their own caches never
+// observe each other's entries. A zero Cache is not usable; construct
+// with NewCache. All methods are safe for concurrent use.
+type Cache struct {
+	craft       sync.Map // craftKey -> *tensor.T
+	pred        sync.Map // predKey -> []int
+	craftSize   atomic.Int64
+	predCount   atomic.Int64
+	craftBudget int64
+	predMax     int64
+}
+
+// NewCache returns an empty cache with the given retention bounds.
+func NewCache(cfg CacheConfig) *Cache {
+	c := &Cache{craftBudget: cfg.CraftBudget, predMax: cfg.PredMax}
+	if c.craftBudget <= 0 {
+		c.craftBudget = defaultCraftBudget
+	}
+	if c.predMax <= 0 {
+		c.predMax = defaultPredMax
+	}
+	return c
+}
+
+// defaultCache backs the package-level compatibility API
+// (RobustnessGrid and friends) when Options.Cache is nil.
+var defaultCache = NewCache(CacheConfig{})
+
+// DefaultCache returns the shared package-level cache used when
+// Options.Cache is nil. Prefer per-engine caches (NewCache) in new
+// code; the default exists so the one-call RobustnessGrid path keeps
+// deduplicating across sweeps.
+func DefaultCache() *Cache { return defaultCache }
+
+// ClearCraftedCache drops every batch and prediction memoised in the
+// shared default cache. Per-engine caches are cleared with
+// Cache.Clear.
+func ClearCraftedCache() { defaultCache.Clear() }
+
+// CraftedCacheLen reports the number of batches memoised in the
+// shared default cache.
+func CraftedCacheLen() int { return defaultCache.CraftedLen() }
+
+// Clear drops every memoised adversarial batch and victim prediction.
+// Weight changes invalidate entries automatically (the keys
+// fingerprint the network), so this exists to reclaim memory in
+// long-running sweeps ahead of the automatic budget eviction.
+func (c *Cache) Clear() {
+	c.craft.Range(func(k, _ any) bool {
+		c.craft.Delete(k)
+		return true
+	})
+	c.craftSize.Store(0)
+	c.clearPreds()
+}
+
+func (c *Cache) clearPreds() {
+	c.pred.Range(func(k, _ any) bool {
+		c.pred.Delete(k)
+		return true
+	})
+	c.predCount.Store(0)
+}
+
+// CraftedLen reports the number of memoised (attack, eps, seed)
+// batches.
+func (c *Cache) CraftedLen() int {
+	n := 0
+	c.craft.Range(func(_, _ any) bool {
+		n++
+		return true
+	})
+	return n
+}
+
+// storeCrafted memoises one batch, resetting the cache first when the
+// retention budget would be exhausted. It returns the retained tensor:
+// when two goroutines race on the same cell, both callers converge on
+// the single stored batch and the size accounting counts it once.
+func (c *Cache) storeCrafted(key craftKey, b *tensor.T) *tensor.T {
+	if c.craftSize.Load()+int64(b.Len()) > c.craftBudget {
+		c.Clear()
+	}
+	if prev, loaded := c.craft.LoadOrStore(key, b); loaded {
+		return prev.(*tensor.T)
+	}
+	c.craftSize.Add(int64(b.Len()))
+	return b
+}
+
+// storePreds memoises one victim's predictions under the same epoch
+// eviction scheme. Only the prediction memos are dropped on overflow —
+// crafted batches are expensive and stay until their own budget trips.
+func (c *Cache) storePreds(key predKey, preds []int) {
+	if c.predCount.Load() >= c.predMax {
+		c.clearPreds()
+	}
+	if _, loaded := c.pred.LoadOrStore(key, preds); !loaded {
+		c.predCount.Add(1)
+	}
+}
+
+// CraftedBatch returns the [N, sampleShape...] adversarial batch for
+// one (attack, eps) cell, crafting it in parallel batches on first
+// use and serving the memo afterwards. hit reports whether the batch
+// came from the cache. Crafting observes ctx: on cancellation the
+// workers stop at the next chunk boundary, nothing is memoised, and
+// ctx.Err() is returned.
+func (c *Cache) CraftedBatch(ctx context.Context, src *nn.Network, test *dataset.Set, atk attack.Attack, eps float64, opts Options) (adv *tensor.T, hit bool, err error) {
+	if test.Len() == 0 {
+		return nil, false, errors.New("core: cannot craft over an empty test set")
+	}
+	epsQ := epsKey(eps)
+	if epsQ == 0 {
+		return c.cleanBatch(test)
+	}
+	key := craftKey{
+		src: src, srcFP: src.WeightsFingerprint(),
+		first: test.X[0], n: test.Len(),
+		// ConfigKey, not Name: tunable attack parameters (BIM/PGD
+		// steps) must never share cache entries.
+		attack: attack.ConfigKey(atk), epsQ: epsQ, seed: opts.Seed,
+	}
+	if v, ok := c.craft.Load(key); ok {
+		return v.(*tensor.T), true, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
+
+	n := test.Len()
+	batk := attack.AsBatch(atk)
+	out := tensor.New(append([]int{n}, test.X[0].Shape...)...)
+	runChunked(ctx, n, opts, func(lo, hi int) {
+		xs := tensor.Stack(test.X[lo:hi])
+		rngs := make([]*rand.Rand, hi-lo)
+		for i := range rngs {
+			// Per-sample stream keyed by (seed, sample, eps):
+			// independent of batch chunking and sweep shape, so cached
+			// and freshly crafted batches agree bit for bit.
+			rngs[i] = rand.New(rand.NewSource(opts.Seed + int64(lo+i)*1_000_003 + epsQ*7_919))
+		}
+		crafted := batk.PerturbBatch(src, xs, test.Y[lo:hi], eps, rngs)
+		copy(out.RowView(lo, hi).Data, crafted.Data)
+	})
+	if err := ctx.Err(); err != nil {
+		// Partial batches must never be memoised.
+		return nil, false, err
+	}
+	return c.storeCrafted(key, out), false, nil
+}
+
+// cleanBatch returns the memoised stacked clean inputs — the eps=0
+// cell of every attack's sweep, which is attack- and seed-independent
+// (all attacks are the identity at zero budget, pinned by the attack
+// tests).
+func (c *Cache) cleanBatch(test *dataset.Set) (*tensor.T, bool, error) {
+	key := craftKey{first: test.X[0], n: test.Len()}
+	if v, ok := c.craft.Load(key); ok {
+		return v.(*tensor.T), true, nil
+	}
+	return c.storeCrafted(key, tensor.Stack(test.X)), false, nil
+}
+
+// Predictions scores one victim over the crafted batch, using the
+// batched path when the model supports it and memoising per (victim,
+// batch). hit reports whether the predictions came from the cache;
+// cancellation behaves as in CraftedBatch.
+func (c *Cache) Predictions(ctx context.Context, m attack.Model, adv *tensor.T, opts Options) (preds []int, hit bool, err error) {
+	key := predKey{model: m, batch: adv}
+	if f, ok := m.(fingerprinter); ok {
+		key.modelFP = f.WeightsFingerprint()
+	}
+	if v, ok := c.pred.Load(key); ok {
+		return v.([]int), true, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
+	n := adv.Rows()
+	preds = make([]int, n)
+	bm, batched := m.(attack.BatchModel)
+	runChunked(ctx, n, opts, func(lo, hi int) {
+		if batched {
+			copy(preds[lo:hi], tensor.ArgMaxRows(bm.LogitsBatch(adv.RowView(lo, hi))))
+		} else {
+			for i := lo; i < hi; i++ {
+				preds[i] = tensor.ArgMax(m.Logits(adv.Row(i)))
+			}
+		}
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
+	c.storePreds(key, preds)
+	return preds, false, nil
+}
+
+// runChunked fans fn over [0, n) in opts-derived chunks across
+// opts-derived workers, stopping at the next chunk boundary once ctx
+// is cancelled. It returns after every worker has exited, so callers
+// never leak goroutines into cancelled sweeps.
+func runChunked(ctx context.Context, n int, opts Options, fn func(lo, hi int)) {
+	chunk := opts.batchSize(n)
+	workers := opts.workers()
+	if max := (n + chunk - 1) / chunk; workers > max {
+		workers = max
+	}
+	done := ctx.Done()
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				mu.Lock()
+				lo := next
+				next += chunk
+				mu.Unlock()
+				if lo >= n {
+					return
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				fn(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -14,20 +14,26 @@
 //
 // The harness is batch-first and stateless: each (attack, eps) batch
 // is crafted once on the shared source network (no per-worker clones),
-// fanned across every victim with LogitsBatch, and memoised in an
-// in-memory crafted-example cache keyed by (source, samples, attack,
-// eps, seed) so multi-grid sweeps never re-craft identical examples.
-// Victim predictions are memoised per (victim, batch) too, so
-// overlapping sweeps — the attack-independent eps=0 clean row, or the
-// same (attack, eps) cell across figures — replay nothing twice.
+// fanned across every victim with LogitsBatch, and memoised in a
+// Cache keyed by (source, samples, attack, eps, seed) so multi-grid
+// sweeps never re-craft identical examples. Victim predictions are
+// memoised per (victim, batch) too, so overlapping sweeps — the
+// attack-independent eps=0 clean row, or the same (attack, eps) cell
+// across figures — replay nothing twice.
+//
+// Caches are injectable (Options.Cache): each engine owns its own,
+// two engines never interfere, and the crafting/prediction worker
+// loops observe context cancellation. RobustnessGridCtx is the full
+// API; RobustnessGrid is a compatibility wrapper over the shared
+// default cache. Whole declared suites (many attacks, one spec, one
+// cache, streaming progress) live one level up in
+// internal/experiment.
 package core
 
 import (
+	"context"
 	"math"
-	"math/rand"
 	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"repro/internal/attack"
 	"repro/internal/dataset"
@@ -71,6 +77,10 @@ type Options struct {
 	// Batch caps the crafting/evaluation batch size (0 = derived from
 	// the worker count, at most maxBatch).
 	Batch int
+	// Cache memoises crafted batches and victim predictions. nil
+	// selects the shared package default (DefaultCache); engines that
+	// must not interfere with each other inject their own NewCache.
+	Cache *Cache
 }
 
 func (o Options) workers() int {
@@ -78,6 +88,13 @@ func (o Options) workers() int {
 		return o.Workers
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+func (o Options) cache() *Cache {
+	if o.Cache != nil {
+		return o.Cache
+	}
+	return defaultCache
 }
 
 // maxBatch bounds the default batch so im2col buffers stay cache- and
@@ -104,18 +121,36 @@ func (o Options) batchSize(n int) int {
 // Grid is the result of sweeping one attack over perturbation budgets
 // and victims — one paper heat-map panel (Figs. 4-7).
 type Grid struct {
-	Attack  string
-	Dataset string
-	Eps     []float64
-	Victims []string
+	Attack  string    `json:"attack"`
+	Dataset string    `json:"dataset"`
+	Eps     []float64 `json:"eps"`
+	Victims []string  `json:"victims"`
 	// Acc[ei][vi] is the percentage robustness of victim vi at Eps[ei].
-	Acc [][]float64
+	Acc [][]float64 `json:"acc"`
 }
 
-// RobustnessGrid runs Algorithm 1: for every budget in eps, craft
-// adversarial examples on the accurate source model and evaluate every
-// victim on them.
+// RobustnessGrid runs Algorithm 1 with the shared default cache and
+// no cancellation — the one-call compatibility path. New code that
+// needs cancellation, progress, or an isolated cache should use
+// RobustnessGridCtx (or the internal/experiment engine for whole
+// suites).
 func RobustnessGrid(src *nn.Network, victims []Victim, set *dataset.Set, atk attack.Attack, eps []float64, opts Options) *Grid {
+	g, err := RobustnessGridCtx(context.Background(), src, victims, set, atk, eps, opts)
+	if err != nil {
+		// Unreachable: the only error source is ctx cancellation and
+		// the background context never cancels.
+		panic(err)
+	}
+	return g
+}
+
+// RobustnessGridCtx runs Algorithm 1: for every budget in eps, craft
+// adversarial examples on the accurate source model (or recall them
+// from the cache) and evaluate every victim on them. It returns
+// ctx.Err() promptly — at the next crafting/evaluation chunk boundary
+// — when ctx is cancelled, leaking no goroutines and memoising no
+// partial results.
+func RobustnessGridCtx(ctx context.Context, src *nn.Network, victims []Victim, set *dataset.Set, atk attack.Attack, eps []float64, opts Options) (*Grid, error) {
 	test := set.Slice(opts.Samples)
 	g := &Grid{
 		Attack:  atk.Name(),
@@ -137,30 +172,37 @@ func RobustnessGrid(src *nn.Network, victims []Victim, set *dataset.Set, atk att
 			}
 			g.Acc[ei] = row
 		}
-		return g
+		return g, nil
 	}
+	cache := opts.cache()
 	for ei, e := range eps {
-		g.Acc[ei] = evaluateOnce(src, models, test, atk, e, opts)
+		adv, _, err := cache.CraftedBatch(ctx, src, test, atk, e, opts)
+		if err != nil {
+			return nil, err
+		}
+		row := make([]float64, len(models))
+		for vi, m := range models {
+			preds, _, err := cache.Predictions(ctx, m, adv, opts)
+			if err != nil {
+				return nil, err
+			}
+			row[vi] = Robustness(preds, test.Y)
+		}
+		g.Acc[ei] = row
 	}
-	return g
+	return g, nil
 }
 
-// evaluateOnce crafts (or recalls) the adversarial batch at a single
-// budget and returns per-victim robustness percentages.
-func evaluateOnce(src *nn.Network, models []attack.Model, test *dataset.Set, atk attack.Attack, eps float64, opts Options) []float64 {
-	adv := craftedBatch(src, test, atk, eps, opts)
-	out := make([]float64, len(models))
-	for vi, m := range models {
-		preds := victimPredictions(m, adv, opts)
-		var correct int64
-		for i, p := range preds {
-			if p == test.Y[i] {
-				correct++
-			}
+// Robustness scores predictions against labels as the paper's
+// percentage metric: R = (1 - adv/|D|) * 100.
+func Robustness(preds, labels []int) float64 {
+	var correct int
+	for i, p := range preds {
+		if p == labels[i] {
+			correct++
 		}
-		out[vi] = 100 * float64(correct) / float64(test.Len())
 	}
-	return out
+	return 100 * float64(correct) / float64(len(labels))
 }
 
 // craftKey identifies one crafted adversarial batch. Sample identity
@@ -180,17 +222,11 @@ type craftKey struct {
 	seed int64
 }
 
-// craftCache memoises crafted batches across grids: bench figures
-// E1-E15 and the cmd tools sweep several grids whose (attack, eps,
-// seed, sample) cells coincide, and step 1 of Algorithm 1 is
-// victim-independent, so identical cells never need re-crafting.
-var craftCache sync.Map
-
 // predKey identifies one victim's predictions over one crafted batch.
 // Models and batches are pointer identities (compiled axnn networks
-// are immutable; batches are craftCache tensors); mutable models that
-// expose a weights fingerprint (float nn networks) additionally carry
-// it, so retraining in place invalidates their memos.
+// are immutable; batches are cache-retained tensors); mutable models
+// that expose a weights fingerprint (float nn networks) additionally
+// carry it, so retraining in place invalidates their memos.
 type predKey struct {
 	model   attack.Model
 	modelFP uint64
@@ -203,224 +239,11 @@ type fingerprinter interface {
 	WeightsFingerprint() uint64
 }
 
-// predCache is the victim-side analog of craftCache: sweeps replay the
-// same crafted batch on the same victim whenever grids overlap (the
-// shared eps=0 clean row across all attacks, repeated (attack, eps)
-// cells across figure benches and cmd tools), so per-row argmaxes are
-// memoised per (victim, batch).
-var predCache sync.Map
-
-// craftCacheBudget bounds the total float32 elements retained across
-// crafted batches (default ~128 MB). Exceeding it resets both caches —
-// a simple epoch eviction that keeps any one sweep fully cached while
-// keeping long-lived processes bounded. Var, not const, so tests can
-// shrink it.
-var craftCacheBudget int64 = 32 << 20
-
-// predCacheMax bounds the number of prediction memos independently of
-// the craft budget: prediction slices are tiny, but their keys pin
-// victim models, which must not accumulate forever in processes that
-// keep compiling fresh victims over small sample sets.
-var predCacheMax int64 = 4096
-
-// craftCacheSize and predCacheCount approximately track retention.
-var (
-	craftCacheSize atomic.Int64
-	predCacheCount atomic.Int64
-)
-
-// storeCrafted memoises one batch, resetting the caches first when the
-// retention budget would be exhausted. It returns the retained tensor:
-// when two goroutines race on the same cell, both callers converge on
-// the single stored batch and the size accounting counts it once.
-func storeCrafted(key craftKey, b *tensor.T) *tensor.T {
-	if craftCacheSize.Load()+int64(b.Len()) > craftCacheBudget {
-		ClearCraftedCache()
-	}
-	if prev, loaded := craftCache.LoadOrStore(key, b); loaded {
-		return prev.(*tensor.T)
-	}
-	craftCacheSize.Add(int64(b.Len()))
-	return b
-}
-
-// storePreds memoises one victim's predictions under the same epoch
-// eviction scheme. Only the prediction memos are dropped on overflow —
-// crafted batches are expensive and stay until their own budget trips.
-func storePreds(key predKey, preds []int) {
-	if predCacheCount.Load() >= predCacheMax {
-		clearPredCache()
-	}
-	if _, loaded := predCache.LoadOrStore(key, preds); !loaded {
-		predCacheCount.Add(1)
-	}
-}
-
-// ClearCraftedCache drops every memoised adversarial batch and victim
-// prediction. Weight changes invalidate entries automatically (the
-// keys fingerprint the network), so this exists to reclaim memory in
-// long-running sweeps ahead of the automatic budget eviction.
-func ClearCraftedCache() {
-	craftCache.Range(func(k, _ any) bool {
-		craftCache.Delete(k)
-		return true
-	})
-	craftCacheSize.Store(0)
-	clearPredCache()
-}
-
-func clearPredCache() {
-	predCache.Range(func(k, _ any) bool {
-		predCache.Delete(k)
-		return true
-	})
-	predCacheCount.Store(0)
-}
-
-// CraftedCacheLen reports the number of memoised (attack, eps, seed)
-// batches.
-func CraftedCacheLen() int {
-	n := 0
-	craftCache.Range(func(_, _ any) bool {
-		n++
-		return true
-	})
-	return n
-}
-
 // epsKey quantises a budget to the same tolerance Grid.At uses for
 // comparison (epsTolerance), so budgets the API treats as equal craft
 // identically: same rng salt, same cache entry.
 func epsKey(eps float64) int64 {
 	return int64(math.Round(eps / epsTolerance))
-}
-
-// craftedBatch returns the [N, sampleShape...] adversarial batch for
-// one (attack, eps) cell, crafting it in parallel batches on first use.
-func craftedBatch(src *nn.Network, test *dataset.Set, atk attack.Attack, eps float64, opts Options) *tensor.T {
-	epsQ := epsKey(eps)
-	if epsQ == 0 {
-		return cleanBatch(test)
-	}
-	key := craftKey{
-		src: src, srcFP: src.WeightsFingerprint(),
-		first: test.X[0], n: test.Len(),
-		// ConfigKey, not Name: tunable attack parameters (BIM/PGD
-		// steps) must never share cache entries.
-		attack: attack.ConfigKey(atk), epsQ: epsQ, seed: opts.Seed,
-	}
-	if v, ok := craftCache.Load(key); ok {
-		return v.(*tensor.T)
-	}
-
-	n := test.Len()
-	batk := attack.AsBatch(atk)
-	adv := tensor.New(append([]int{n}, test.X[0].Shape...)...)
-	chunk := opts.batchSize(n)
-	var next int
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	workers := opts.workers()
-	if workers > (n+chunk-1)/chunk {
-		workers = (n + chunk - 1) / chunk
-	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				lo := next
-				next += chunk
-				mu.Unlock()
-				if lo >= n {
-					return
-				}
-				hi := lo + chunk
-				if hi > n {
-					hi = n
-				}
-				xs := tensor.Stack(test.X[lo:hi])
-				rngs := make([]*rand.Rand, hi-lo)
-				for i := range rngs {
-					// Per-sample stream keyed by (seed, sample, eps):
-					// independent of batch chunking and sweep shape, so
-					// cached and freshly crafted batches agree bit for
-					// bit.
-					rngs[i] = rand.New(rand.NewSource(opts.Seed + int64(lo+i)*1_000_003 + epsQ*7_919))
-				}
-				out := batk.PerturbBatch(src, xs, test.Y[lo:hi], eps, rngs)
-				copy(adv.RowView(lo, hi).Data, out.Data)
-			}
-		}()
-	}
-	wg.Wait()
-	return storeCrafted(key, adv)
-}
-
-// cleanBatch returns the memoised stacked clean inputs — the eps=0
-// cell of every attack's sweep, which is attack- and seed-independent
-// (all attacks are the identity at zero budget, pinned by the attack
-// tests).
-func cleanBatch(test *dataset.Set) *tensor.T {
-	key := craftKey{first: test.X[0], n: test.Len()}
-	if v, ok := craftCache.Load(key); ok {
-		return v.(*tensor.T)
-	}
-	return storeCrafted(key, tensor.Stack(test.X))
-}
-
-// victimPredictions scores one victim over the crafted batch, using
-// the batched path when the model supports it and memoising per
-// (victim, batch).
-func victimPredictions(m attack.Model, adv *tensor.T, opts Options) []int {
-	key := predKey{model: m, batch: adv}
-	if f, ok := m.(fingerprinter); ok {
-		key.modelFP = f.WeightsFingerprint()
-	}
-	if v, ok := predCache.Load(key); ok {
-		return v.([]int)
-	}
-	n := adv.Rows()
-	preds := make([]int, n)
-	chunk := opts.batchSize(n)
-	workers := opts.workers()
-	if workers > (n+chunk-1)/chunk {
-		workers = (n + chunk - 1) / chunk
-	}
-	bm, batched := m.(attack.BatchModel)
-	var next int
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				lo := next
-				next += chunk
-				mu.Unlock()
-				if lo >= n {
-					return
-				}
-				hi := lo + chunk
-				if hi > n {
-					hi = n
-				}
-				if batched {
-					copy(preds[lo:hi], tensor.ArgMaxRows(bm.LogitsBatch(adv.RowView(lo, hi))))
-				} else {
-					for i := lo; i < hi; i++ {
-						preds[i] = tensor.ArgMax(m.Logits(adv.Row(i)))
-					}
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	storePreds(key, preds)
-	return preds
 }
 
 // epsTolerance is the budget comparison tolerance shared by the Grid
@@ -457,18 +280,20 @@ func (g *Grid) At(eps float64, name string) (float64, bool) {
 	return g.Acc[ei][vi], true
 }
 
-// Column returns victim name's robustness across all budgets.
-func (g *Grid) Column(name string) []float64 {
+// Column returns victim name's robustness across all budgets and
+// whether the grid has that victim at all — so an absent victim is
+// distinguishable from one with no budgets.
+func (g *Grid) Column(name string) ([]float64, bool) {
 	for vi, v := range g.Victims {
 		if v == name {
 			col := make([]float64, len(g.Eps))
 			for ei := range g.Eps {
 				col[ei] = g.Acc[ei][vi]
 			}
-			return col
+			return col, true
 		}
 	}
-	return nil
+	return nil, false
 }
 
 // MaxAccuracyLoss returns the largest drop from the eps=0 (clean)

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -83,12 +85,12 @@ func TestGridAccessors(t *testing.T) {
 	if _, ok := g.At(2, "b"); ok {
 		t.Fatal("At with unknown eps should report !ok")
 	}
-	col := g.Column("a")
-	if len(col) != 2 || col[1] != 50 {
-		t.Fatalf("Column(a) = %v", col)
+	col, ok := g.Column("a")
+	if !ok || len(col) != 2 || col[1] != 50 {
+		t.Fatalf("Column(a) = %v, %v", col, ok)
 	}
-	if g.Column("zzz") != nil {
-		t.Fatal("unknown column should be nil")
+	if col, ok := g.Column("zzz"); ok || col != nil {
+		t.Fatal("unknown column must report !ok with a nil slice")
 	}
 	loss, victim, eps := g.MaxAccuracyLoss()
 	if loss != 60 || victim != "b" || eps != 1 {
@@ -160,30 +162,27 @@ func TestCraftedCacheReuse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ClearCraftedCache()
-	if CraftedCacheLen() != 0 {
-		t.Fatal("cache not cleared")
-	}
+	c := NewCache(CacheConfig{})
 	atk := attack.ByName("PGD-linf")
-	opts := Options{Samples: 40, Seed: 13}
+	opts := Options{Samples: 40, Seed: 13, Cache: c}
 	a := RobustnessGrid(f.net, victims, f.test, atk, []float64{0, 0.1}, opts)
-	filled := CraftedCacheLen()
+	filled := c.CraftedLen()
 	if filled != 2 {
 		t.Fatalf("cache holds %d batches after a 2-eps grid, want 2", filled)
 	}
 	// A second identical sweep must reuse every batch and agree exactly.
 	b := RobustnessGrid(f.net, victims, f.test, atk, []float64{0, 0.1}, opts)
-	if CraftedCacheLen() != filled {
-		t.Fatalf("identical sweep re-crafted: %d batches", CraftedCacheLen())
+	if c.CraftedLen() != filled {
+		t.Fatalf("identical sweep re-crafted: %d batches", c.CraftedLen())
 	}
 	for ei := range a.Acc {
 		if a.Acc[ei][0] != b.Acc[ei][0] {
 			t.Fatalf("cached sweep diverged at row %d", ei)
 		}
 	}
-	ClearCraftedCache()
-	if CraftedCacheLen() != 0 {
-		t.Fatal("ClearCraftedCache left entries behind")
+	c.Clear()
+	if c.CraftedLen() != 0 {
+		t.Fatal("Clear left entries behind")
 	}
 }
 
@@ -197,24 +196,23 @@ func TestCrossSweepCellReuse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ClearCraftedCache()
+	c := NewCache(CacheConfig{})
 	atk := attack.ByName("PGD-linf")
-	opts := Options{Samples: 40, Seed: 21}
+	opts := Options{Samples: 40, Seed: 21, Cache: c}
 	a := RobustnessGrid(f.net, victims, f.test, atk, []float64{0, 0.1, 0.2}, opts)
-	filled := CraftedCacheLen() // clean batch + eps 0.1 + eps 0.2
+	filled := c.CraftedLen() // clean batch + eps 0.1 + eps 0.2
 	if filled != 3 {
 		t.Fatalf("cache holds %d batches, want 3", filled)
 	}
 	b := RobustnessGrid(f.net, victims, f.test, atk, []float64{0.05, 0.1}, opts)
-	if CraftedCacheLen() != filled+1 {
-		t.Fatalf("misaligned sweep re-crafted shared cells: %d batches, want %d", CraftedCacheLen(), filled+1)
+	if c.CraftedLen() != filled+1 {
+		t.Fatalf("misaligned sweep re-crafted shared cells: %d batches, want %d", c.CraftedLen(), filled+1)
 	}
 	va, _ := a.At(0.1, "mul8u_1JFF")
 	vb, _ := b.At(0.1, "mul8u_1JFF")
 	if va != vb {
 		t.Fatalf("shared (attack, eps, seed) cell diverged across sweeps: %f vs %f", va, vb)
 	}
-	ClearCraftedCache()
 }
 
 func TestCraftedCacheEpsRoundoff(t *testing.T) {
@@ -226,21 +224,20 @@ func TestCraftedCacheEpsRoundoff(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ClearCraftedCache()
+	c := NewCache(CacheConfig{})
 	atk := attack.ByName("PGD-linf")
-	opts := Options{Samples: 30, Seed: 8}
+	opts := Options{Samples: 30, Seed: 8, Cache: c}
 	a := RobustnessGrid(f.net, victims, f.test, atk, []float64{0.1 * 3}, opts)
-	filled := CraftedCacheLen()
+	filled := c.CraftedLen()
 	b := RobustnessGrid(f.net, victims, f.test, atk, []float64{0.3}, opts)
-	if CraftedCacheLen() != filled {
-		t.Fatalf("round-off twin budgets crafted separately (%d entries)", CraftedCacheLen())
+	if c.CraftedLen() != filled {
+		t.Fatalf("round-off twin budgets crafted separately (%d entries)", c.CraftedLen())
 	}
 	va, _ := a.At(0.3, "mul8u_1JFF")
 	vb, _ := b.At(0.3, "mul8u_1JFF")
 	if va != vb {
 		t.Fatalf("round-off twin budgets disagree: %f vs %f", va, vb)
 	}
-	ClearCraftedCache()
 }
 
 func TestCraftedCacheKeysAttackConfig(t *testing.T) {
@@ -251,18 +248,17 @@ func TestCraftedCacheKeysAttackConfig(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ClearCraftedCache()
+	c := NewCache(CacheConfig{})
 	short := attack.NewPGD(attack.Linf)
 	long := attack.NewPGD(attack.Linf)
 	long.Steps = 40
-	opts := Options{Samples: 30, Seed: 5}
+	opts := Options{Samples: 30, Seed: 5, Cache: c}
 	RobustnessGrid(f.net, victims, f.test, short, []float64{0.1}, opts)
-	filled := CraftedCacheLen()
+	filled := c.CraftedLen()
 	RobustnessGrid(f.net, victims, f.test, long, []float64{0.1}, opts)
-	if CraftedCacheLen() != filled+1 {
-		t.Fatalf("differently-configured attacks shared a cache entry (%d entries)", CraftedCacheLen())
+	if c.CraftedLen() != filled+1 {
+		t.Fatalf("differently-configured attacks shared a cache entry (%d entries)", c.CraftedLen())
 	}
-	ClearCraftedCache()
 }
 
 func TestCraftedCacheInvalidatedByRetraining(t *testing.T) {
@@ -274,20 +270,19 @@ func TestCraftedCacheInvalidatedByRetraining(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ClearCraftedCache()
+	c := NewCache(CacheConfig{})
 	atk := attack.ByName("FGM-linf")
-	opts := Options{Samples: 30, Seed: 9}
+	opts := Options{Samples: 30, Seed: 9, Cache: c}
 	RobustnessGrid(f.net, victims, f.test, atk, []float64{0.1}, opts)
-	filled := CraftedCacheLen()
+	filled := c.CraftedLen()
 	p := f.net.Params()[0]
 	orig := p.W[0]
 	p.W[0] += 0.25
 	RobustnessGrid(f.net, victims, f.test, atk, []float64{0.1}, opts)
 	p.W[0] = orig
-	if CraftedCacheLen() != filled+1 {
-		t.Fatalf("retrained network reused stale crafted batch (%d entries, want %d)", CraftedCacheLen(), filled+1)
+	if c.CraftedLen() != filled+1 {
+		t.Fatalf("retrained network reused stale crafted batch (%d entries, want %d)", c.CraftedLen(), filled+1)
 	}
-	ClearCraftedCache()
 }
 
 func TestCraftedCacheBudgetEviction(t *testing.T) {
@@ -296,17 +291,15 @@ func TestCraftedCacheBudgetEviction(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ClearCraftedCache()
-	orig := craftCacheBudget
-	defer func() { craftCacheBudget = orig; ClearCraftedCache() }()
 	// Budget below two 20-sample batches: the second store must reset
-	// the cache instead of growing it.
-	craftCacheBudget = int64(30 * f.test.X[0].Len())
-	opts := Options{Samples: 20, Seed: 6}
+	// the cache instead of growing it. The bound lives in the cache
+	// instance, so no package state is mutated.
+	c := NewCache(CacheConfig{CraftBudget: int64(30 * f.test.X[0].Len())})
+	opts := Options{Samples: 20, Seed: 6, Cache: c}
 	atk := attack.ByName("FGM-linf")
 	RobustnessGrid(f.net, victims, f.test, atk, []float64{0.1}, opts)
 	RobustnessGrid(f.net, victims, f.test, atk, []float64{0.2}, opts)
-	if n := CraftedCacheLen(); n != 1 {
+	if n := c.CraftedLen(); n != 1 {
 		t.Fatalf("cache holds %d entries over budget, want 1 after epoch eviction", n)
 	}
 }
@@ -341,5 +334,71 @@ func TestTransferProtocol(t *testing.T) {
 	}
 	if !strings.Contains(res.String(), "->") {
 		t.Fatalf("TransferResult.String() = %q", res.String())
+	}
+}
+
+func TestCacheIsolation(t *testing.T) {
+	// Two caches over the same cells never observe each other's
+	// entries — the property that lets two engines coexist in one
+	// process.
+	f := getFixture(t)
+	victims, err := BuildAxVictims(f.net, f.test, []string{"mul8u_1JFF"}, axnn.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1 := NewCache(CacheConfig{})
+	c2 := NewCache(CacheConfig{})
+	atk := attack.ByName("FGM-linf")
+	RobustnessGrid(f.net, victims, f.test, atk, []float64{0, 0.1}, Options{Samples: 30, Seed: 3, Cache: c1})
+	if c1.CraftedLen() != 2 || c2.CraftedLen() != 0 {
+		t.Fatalf("cache leak: c1=%d c2=%d, want 2/0", c1.CraftedLen(), c2.CraftedLen())
+	}
+	RobustnessGrid(f.net, victims, f.test, atk, []float64{0, 0.1}, Options{Samples: 30, Seed: 3, Cache: c2})
+	if c2.CraftedLen() != 2 {
+		t.Fatalf("second cache crafted %d batches, want its own 2", c2.CraftedLen())
+	}
+	c1.Clear()
+	if c1.CraftedLen() != 0 || c2.CraftedLen() != 2 {
+		t.Fatalf("Clear crossed caches: c1=%d c2=%d", c1.CraftedLen(), c2.CraftedLen())
+	}
+}
+
+func TestDefaultCacheCompat(t *testing.T) {
+	// Options without a Cache keep flowing through the shared default
+	// cache, and the package-level helpers keep operating on it.
+	f := getFixture(t)
+	victims, err := BuildAxVictims(f.net, f.test, []string{"mul8u_1JFF"}, axnn.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ClearCraftedCache()
+	RobustnessGrid(f.net, victims, f.test, attack.ByName("FGM-linf"), []float64{0.1}, Options{Samples: 20, Seed: 2})
+	if CraftedCacheLen() != 1 {
+		t.Fatalf("default cache holds %d batches, want 1", CraftedCacheLen())
+	}
+	if DefaultCache().CraftedLen() != 1 {
+		t.Fatal("DefaultCache must be the cache the nil-Cache options used")
+	}
+	ClearCraftedCache()
+	if CraftedCacheLen() != 0 {
+		t.Fatal("ClearCraftedCache left entries behind")
+	}
+}
+
+func TestRobustnessGridCtxCancellation(t *testing.T) {
+	f := getFixture(t)
+	victims, err := BuildAxVictims(f.net, f.test, []string{"mul8u_1JFF"}, axnn.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := NewCache(CacheConfig{})
+	g, err := RobustnessGridCtx(ctx, f.net, victims, f.test, attack.ByName("PGD-linf"), []float64{0.1, 0.2}, Options{Samples: 40, Seed: 11, Cache: c})
+	if g != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled sweep returned (%v, %v), want (nil, context.Canceled)", g, err)
+	}
+	if c.CraftedLen() != 0 {
+		t.Fatalf("cancelled sweep memoised %d partial batches", c.CraftedLen())
 	}
 }

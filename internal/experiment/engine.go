@@ -1,0 +1,176 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/attack"
+	"repro/internal/axnn"
+	"repro/internal/core"
+	"repro/internal/modelzoo"
+)
+
+// Engine executes Specs. Each engine owns its crafted-batch and
+// prediction caches (core.Cache), so two engines never interfere and
+// repeated or overlapping cells within one engine — the shared eps=0
+// clean row across attacks, identical cells across Runs — are served
+// from the memo. The zero Engine is not usable; construct with New.
+type Engine struct {
+	cache    *core.Cache
+	onEvent  func(Event)
+	getModel func(string) (*modelzoo.Model, error)
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithCache replaces the engine's owned cache — e.g. to share one
+// cache between engines deliberately, or to bound retention via
+// core.CacheConfig.
+func WithCache(c *core.Cache) Option {
+	return func(e *Engine) { e.cache = c }
+}
+
+// WithProgress registers a callback receiving progress events (cell
+// started/finished, cache hit/miss). Events are emitted synchronously
+// from the Run goroutine, in order.
+func WithProgress(fn func(Event)) Option {
+	return func(e *Engine) { e.onEvent = fn }
+}
+
+// WithModelSource replaces the model resolver (default modelzoo.Get)
+// — primarily for tests, which inject small purpose-trained fixtures
+// instead of the full zoo models.
+func WithModelSource(fn func(string) (*modelzoo.Model, error)) Option {
+	return func(e *Engine) { e.getModel = fn }
+}
+
+// New returns an engine with a fresh owned cache.
+func New(opts ...Option) *Engine {
+	e := &Engine{
+		cache:    core.NewCache(core.CacheConfig{}),
+		getModel: modelzoo.Get,
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// Cache exposes the engine's cache, chiefly so tests can assert
+// isolation and callers can Clear it after retraining models in
+// place.
+func (e *Engine) Cache() *core.Cache { return e.cache }
+
+func (e *Engine) emit(ev Event) {
+	if e.onEvent != nil {
+		e.onEvent(ev)
+	}
+}
+
+// Run executes the suite declared by spec: it resolves the source
+// (and, for transfer suites, victim) model, compiles one AxDNN victim
+// per multiplier, and sweeps every attack over every budget — one
+// Grid per attack, crafted batches and victim predictions
+// deduplicated through the engine's cache. Cancellation via ctx is
+// observed at chunk granularity inside crafting and evaluation; Run
+// then returns ctx.Err() with no partial results memoised and no
+// goroutines leaked.
+//
+// The numbers are identical to running core.RobustnessGrid once per
+// attack with the same options: the engine only changes who owns the
+// cache and how progress is observed, never the protocol.
+func (e *Engine) Run(ctx context.Context, spec *Spec) (*Report, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	src, err := e.getModel(spec.Model)
+	if err != nil {
+		return nil, err
+	}
+	vic := src
+	if spec.victimModel() != spec.Model {
+		if vic, err = e.getModel(spec.victimModel()); err != nil {
+			return nil, err
+		}
+	}
+	victims, err := core.BuildAxVictims(vic.Net, vic.Test, spec.ExpandMultipliers(), axnn.Options{Bits: spec.Bits, ApproxDense: spec.ApproxDense})
+	if err != nil {
+		return nil, err
+	}
+	test := vic.Test.Slice(spec.Samples)
+	if test.Len() == 0 {
+		return nil, fmt.Errorf("experiment: %s has no test samples", spec.victimModel())
+	}
+	opts := core.Options{
+		Samples: spec.Samples,
+		Seed:    spec.Seed,
+		Workers: spec.Workers,
+		Batch:   spec.Batch,
+		Cache:   e.cache,
+	}
+	names := make([]string, len(victims))
+	models := make([]attack.Model, len(victims))
+	for i, v := range victims {
+		names[i] = v.Name
+		models[i] = v.Factory()
+	}
+
+	atks := spec.attackList()
+	rep := &Report{
+		Spec:     *spec,
+		CleanAcc: src.CleanAcc,
+		Grids:    make([]*core.Grid, 0, len(atks)),
+	}
+	cells := len(atks) * len(spec.Eps)
+	cell := 0
+	for _, atk := range atks {
+		g := &core.Grid{
+			Attack:  atk.Name(),
+			Dataset: vic.Test.Name,
+			Eps:     append([]float64(nil), spec.Eps...),
+			Victims: append([]string(nil), names...),
+			Acc:     make([][]float64, len(spec.Eps)),
+		}
+		for ei, eps := range spec.Eps {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			cell++
+			e.emit(Event{Kind: CellStarted, Suite: spec.Name, Attack: atk.Name(), Eps: eps, Cell: cell, Cells: cells})
+			start := time.Now()
+			adv, hit, err := e.cache.CraftedBatch(ctx, src.Net, test, atk, eps, opts)
+			if err != nil {
+				return nil, err
+			}
+			e.emit(Event{Kind: cacheKind(hit), Suite: spec.Name, Attack: atk.Name(), Eps: eps, Cell: cell, Cells: cells})
+			row := make([]float64, len(models))
+			for vi, m := range models {
+				preds, _, err := e.cache.Predictions(ctx, m, adv, opts)
+				if err != nil {
+					return nil, err
+				}
+				row[vi] = core.Robustness(preds, test.Y)
+			}
+			g.Acc[ei] = row
+			elapsed := time.Since(start)
+			e.emit(Event{Kind: CellFinished, Suite: spec.Name, Attack: atk.Name(), Eps: eps, Cell: cell, Cells: cells, CacheHit: hit, Elapsed: elapsed})
+			rep.Cells = append(rep.Cells, CellTiming{
+				Attack:    atk.Name(),
+				Eps:       eps,
+				CacheHit:  hit,
+				ElapsedMS: float64(elapsed) / float64(time.Millisecond),
+			})
+		}
+		rep.Grids = append(rep.Grids, g)
+	}
+	return rep, nil
+}
+
+func cacheKind(hit bool) Kind {
+	if hit {
+		return CacheHit
+	}
+	return CacheMiss
+}

@@ -1,0 +1,236 @@
+package experiment
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/models"
+	"repro/internal/modelzoo"
+	"repro/internal/train"
+)
+
+// fixtureZoo trains two small FFNNs once and serves them like the
+// model zoo would, so engine tests never touch the real trained-model
+// cache.
+var fixtureZoo map[string]*modelzoo.Model
+
+func fixtureSource(t *testing.T) func(string) (*modelzoo.Model, error) {
+	t.Helper()
+	if fixtureZoo == nil {
+		fixtureZoo = map[string]*modelzoo.Model{}
+		for i, name := range []string{"tiny-a", "tiny-b"} {
+			tr := dataset.Digits(800, 71+int64(i))
+			test := dataset.Digits(150, 91+int64(i))
+			net := models.FFNN(28*28, 10, 73+int64(i))
+			net.Name = name
+			train.Fit(net, tr, train.Config{Epochs: 2, Batch: 32, LR: 0.05, Momentum: 0.9, Seed: 3})
+			fixtureZoo[name] = &modelzoo.Model{Net: net, Test: test, CleanAcc: 100 * train.Accuracy(net, test, 0)}
+		}
+	}
+	return func(name string) (*modelzoo.Model, error) {
+		m, ok := fixtureZoo[name]
+		if !ok {
+			return nil, fmt.Errorf("fixture zoo: unknown model %q", name)
+		}
+		return m, nil
+	}
+}
+
+func tinySpec() *Spec {
+	return &Spec{
+		Name:        "engine-test",
+		Model:       "tiny-a",
+		Multipliers: []string{"mul8u_1JFF", "mul8u_JV3"},
+		Attacks:     []string{"FGM-linf", "PGD-linf"},
+		Eps:         []float64{0, 0.1},
+		Samples:     60,
+		Seed:        5,
+	}
+}
+
+// TestEngineMatchesRobustnessGrid is the acceptance criterion: one
+// Run over a multi-attack spec produces grids identical — cell for
+// cell and in MaxAccuracyLoss — to the per-grid core.RobustnessGrid
+// path with the same options.
+func TestEngineMatchesRobustnessGrid(t *testing.T) {
+	src := fixtureSource(t)
+	eng := New(WithModelSource(src))
+	spec := tinySpec()
+	rep, err := eng.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Grids) != len(spec.Attacks) {
+		t.Fatalf("suite produced %d grids, want %d", len(rep.Grids), len(spec.Attacks))
+	}
+	m, _ := src("tiny-a")
+	victims, err := core.BuildAxVictims(m.Net, m.Test, spec.ExpandMultipliers(), axnnOptions(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, name := range spec.Attacks {
+		ref := core.RobustnessGrid(m.Net, victims, m.Test, attackByName(t, name), spec.Eps,
+			core.Options{Samples: spec.Samples, Seed: spec.Seed, Cache: core.NewCache(core.CacheConfig{})})
+		if !reflect.DeepEqual(rep.Grids[i].Acc, ref.Acc) {
+			t.Fatalf("%s: engine grid diverged from RobustnessGrid:\nengine %v\nref    %v", name, rep.Grids[i].Acc, ref.Acc)
+		}
+		el, ev, ee := rep.Grids[i].MaxAccuracyLoss()
+		rl, rv, re := ref.MaxAccuracyLoss()
+		if el != rl || ev != rv || ee != re {
+			t.Fatalf("%s: MaxAccuracyLoss diverged: %v/%v/%v vs %v/%v/%v", name, el, ev, ee, rl, rv, re)
+		}
+	}
+	if len(rep.Cells) != len(spec.Attacks)*len(spec.Eps) {
+		t.Fatalf("report has %d cell timings, want %d", len(rep.Cells), len(spec.Attacks)*len(spec.Eps))
+	}
+}
+
+// TestEngineCleanRowSharedAcrossAttacks pins the cross-attack cache
+// contract: the eps=0 clean batch is attack-independent, so the
+// second attack's clean cell must be a cache hit.
+func TestEngineCleanRowSharedAcrossAttacks(t *testing.T) {
+	var events []Event
+	eng := New(WithModelSource(fixtureSource(t)), WithProgress(func(ev Event) { events = append(events, ev) }))
+	if _, err := eng.Run(context.Background(), tinySpec()); err != nil {
+		t.Fatal(err)
+	}
+	hitAt := map[string]bool{}
+	for _, ev := range events {
+		if ev.Kind == CellFinished {
+			hitAt[fmt.Sprintf("%s@%g", ev.Attack, ev.Eps)] = ev.CacheHit
+		}
+	}
+	if hitAt["FGM-linf@0"] {
+		t.Fatal("first attack's clean row cannot be a hit on a fresh engine")
+	}
+	if !hitAt["PGD-linf@0"] {
+		t.Fatal("second attack's eps=0 cell must hit the shared clean batch")
+	}
+	if hitAt["PGD-linf@0.1"] {
+		t.Fatal("distinct attacks must not share nonzero-eps cells")
+	}
+
+	// A second identical Run replays entirely from the cache.
+	events = nil
+	if _, err := eng.Run(context.Background(), tinySpec()); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range events {
+		if ev.Kind == CellFinished && !ev.CacheHit {
+			t.Fatalf("repeated run re-crafted %s eps=%g", ev.Attack, ev.Eps)
+		}
+	}
+}
+
+// TestEngineCacheIsolation: two engines never observe each other's
+// entries, and neither touches the shared default cache.
+func TestEngineCacheIsolation(t *testing.T) {
+	core.ClearCraftedCache()
+	src := fixtureSource(t)
+	e1 := New(WithModelSource(src))
+	if _, err := e1.Run(context.Background(), tinySpec()); err != nil {
+		t.Fatal(err)
+	}
+	if e1.Cache().CraftedLen() == 0 {
+		t.Fatal("first engine cached nothing")
+	}
+
+	var events []Event
+	e2 := New(WithModelSource(src), WithProgress(func(ev Event) { events = append(events, ev) }))
+	if _, err := e2.Run(context.Background(), tinySpec()); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range events {
+		if ev.Kind == CellFinished && ev.CacheHit && ev.Eps != 0 {
+			t.Fatalf("fresh engine hit another engine's entry at %s eps=%g", ev.Attack, ev.Eps)
+		}
+	}
+	n1 := e1.Cache().CraftedLen()
+	e2.Cache().Clear()
+	if e1.Cache().CraftedLen() != n1 {
+		t.Fatal("clearing one engine's cache drained the other's")
+	}
+	if core.CraftedCacheLen() != 0 {
+		t.Fatalf("engines leaked %d entries into the shared default cache", core.CraftedCacheLen())
+	}
+}
+
+// TestEngineCancellationMidSweep cancels after the first finished
+// cell: Run must return ctx.Err() promptly without leaking worker
+// goroutines or memoising cells it never finished.
+func TestEngineCancellationMidSweep(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var finished int
+	eng := New(WithModelSource(fixtureSource(t)), WithProgress(func(ev Event) {
+		if ev.Kind == CellFinished {
+			if finished++; finished == 1 {
+				cancel()
+			}
+		}
+	}))
+	rep, err := eng.Run(ctx, tinySpec())
+	if rep != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Run returned (%v, %v), want (nil, context.Canceled)", rep, err)
+	}
+	if finished > 2 {
+		t.Fatalf("engine kept sweeping after cancellation: %d cells finished", finished)
+	}
+	// No goroutine leak: the crafting/evaluation workers must all have
+	// exited shortly after Run returns.
+	deadline := time.Now().Add(3 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Fatalf("goroutines leaked by cancelled sweep: %d before, %d after", before, n)
+	}
+}
+
+// TestEngineTransferSuite runs a victim_model spec — crafted on one
+// architecture, replayed on another — and checks it against the
+// direct core path.
+func TestEngineTransferSuite(t *testing.T) {
+	src := fixtureSource(t)
+	spec := tinySpec()
+	spec.VictimModel = "tiny-b"
+	spec.Attacks = []string{"FGM-linf"}
+	eng := New(WithModelSource(src))
+	rep, err := eng.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := src("tiny-a")
+	b, _ := src("tiny-b")
+	victims, err := core.BuildAxVictims(b.Net, b.Test, spec.ExpandMultipliers(), axnnOptions(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := core.RobustnessGrid(a.Net, victims, b.Test, attackByName(t, "FGM-linf"), spec.Eps,
+		core.Options{Samples: spec.Samples, Seed: spec.Seed, Cache: core.NewCache(core.CacheConfig{})})
+	if !reflect.DeepEqual(rep.Grids[0].Acc, ref.Acc) {
+		t.Fatalf("transfer suite diverged from core path:\nengine %v\nref    %v", rep.Grids[0].Acc, ref.Acc)
+	}
+}
+
+func TestEngineUnknownModel(t *testing.T) {
+	eng := New(WithModelSource(fixtureSource(t)))
+	spec := tinySpec()
+	spec.Model = "no-such-model"
+	if _, err := eng.Run(context.Background(), spec); err == nil {
+		t.Fatal("unknown model must fail the run with an error")
+	}
+	spec = tinySpec()
+	spec.Attacks = []string{"bogus"}
+	if _, err := eng.Run(context.Background(), spec); err == nil {
+		t.Fatal("invalid spec must fail the run with an error")
+	}
+}

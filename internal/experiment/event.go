@@ -1,0 +1,88 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Kind discriminates progress events.
+type Kind int
+
+const (
+	// CellStarted fires before a (attack, eps) cell is crafted and
+	// evaluated.
+	CellStarted Kind = iota
+	// CellFinished fires after every victim has been scored on the
+	// cell; Elapsed and CacheHit are set.
+	CellFinished
+	// CacheHit / CacheMiss report whether the cell's crafted batch was
+	// served from the engine cache — across attacks, the eps=0 clean
+	// row hits after the first attack; across Runs, every repeated
+	// cell hits.
+	CacheHit
+	CacheMiss
+)
+
+// String names the kind for logs.
+func (k Kind) String() string {
+	switch k {
+	case CellStarted:
+		return "cell-started"
+	case CellFinished:
+		return "cell-finished"
+	case CacheHit:
+		return "cache-hit"
+	case CacheMiss:
+		return "cache-miss"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Event is one progress observation streamed from Engine.Run. Cell
+// and Cells give suite-wide progress (1-based cell index over the
+// attack × eps plan).
+type Event struct {
+	Kind   Kind
+	Suite  string
+	Attack string
+	Eps    float64
+	Cell   int
+	Cells  int
+	// CacheHit is meaningful on CellFinished: whether the cell's
+	// crafted batch came from the cache.
+	CacheHit bool
+	// Elapsed is meaningful on CellFinished: crafting plus all victim
+	// evaluations for the cell.
+	Elapsed time.Duration
+}
+
+// Progress returns a WithProgress callback that streams one line per
+// cell start and finish to w (finish lines tag cache hits with
+// "(cached)"; the separate CacheHit/CacheMiss events are dropped to
+// keep the stream one line per transition) — the -progress rendering
+// shared by the suite-running cmd tools.
+func Progress(w io.Writer) func(Event) {
+	return func(ev Event) {
+		switch ev.Kind {
+		case CellStarted, CellFinished:
+			fmt.Fprintln(w, ev)
+		}
+	}
+}
+
+// String renders the event as one progress line.
+func (e Event) String() string {
+	head := fmt.Sprintf("[%d/%d] %s eps=%g", e.Cell, e.Cells, e.Attack, e.Eps)
+	switch e.Kind {
+	case CellFinished:
+		tag := ""
+		if e.CacheHit {
+			tag = " (cached)"
+		}
+		return fmt.Sprintf("%s done in %s%s", head, e.Elapsed.Round(time.Millisecond), tag)
+	case CacheHit, CacheMiss:
+		return fmt.Sprintf("%s %s", head, e.Kind)
+	}
+	return fmt.Sprintf("%s %s", head, e.Kind)
+}

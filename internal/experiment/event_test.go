@@ -1,0 +1,24 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestProgressRendersCells(t *testing.T) {
+	var b strings.Builder
+	fn := Progress(&b)
+	fn(Event{Kind: CellStarted, Attack: "BIM-linf", Eps: 0.1, Cell: 1, Cells: 4})
+	fn(Event{Kind: CacheMiss, Attack: "BIM-linf", Eps: 0.1, Cell: 1, Cells: 4})
+	fn(Event{Kind: CellFinished, Attack: "BIM-linf", Eps: 0.1, Cell: 1, Cells: 4, CacheHit: true})
+	out := b.String()
+	if !strings.Contains(out, "[1/4] BIM-linf eps=0.1") {
+		t.Fatalf("progress output = %q", out)
+	}
+	if !strings.Contains(out, "(cached)") {
+		t.Fatalf("cache hit not rendered: %q", out)
+	}
+	if strings.Contains(out, "cache-miss") {
+		t.Fatalf("cache events must not spam the progress stream: %q", out)
+	}
+}

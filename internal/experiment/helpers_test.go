@@ -1,0 +1,23 @@
+package experiment
+
+import (
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/axnn"
+)
+
+func attackByName(t *testing.T, name string) attack.Attack {
+	t.Helper()
+	a := attack.ByName(name)
+	if a == nil {
+		t.Fatalf("unknown attack %q", name)
+	}
+	return a
+}
+
+// axnnOptions mirrors the engine's victim compilation options for
+// reference runs.
+func axnnOptions(s *Spec) axnn.Options {
+	return axnn.Options{Bits: s.Bits, ApproxDense: s.ApproxDense}
+}

@@ -1,0 +1,106 @@
+package experiment
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func sampleReport() *Report {
+	return &Report{
+		Spec:     *validSpec(),
+		CleanAcc: 97.5,
+		Grids: []*core.Grid{
+			{
+				Attack:  "FGM-linf",
+				Dataset: "digits",
+				Eps:     []float64{0, 0.1},
+				Victims: []string{"mul8u_1JFF", "mul8u_JV3"},
+				Acc:     [][]float64{{95, 90}, {70, 40}},
+			},
+			{
+				Attack:  "PGD-linf",
+				Dataset: "digits",
+				Eps:     []float64{0, 0.1},
+				Victims: []string{"mul8u_1JFF", "mul8u_JV3"},
+				Acc:     [][]float64{{95, 90}, {30, 20}},
+			},
+		},
+		Cells: []CellTiming{
+			{Attack: "FGM-linf", Eps: 0, CacheHit: false, ElapsedMS: 1.5},
+			{Attack: "FGM-linf", Eps: 0.1, CacheHit: false, ElapsedMS: 12},
+			{Attack: "PGD-linf", Eps: 0, CacheHit: true, ElapsedMS: 0.2},
+			{Attack: "PGD-linf", Eps: 0.1, CacheHit: false, ElapsedMS: 30},
+		},
+	}
+}
+
+func TestReportMaxAccuracyLoss(t *testing.T) {
+	loss, atk, victim, eps := sampleReport().MaxAccuracyLoss()
+	// Suite-wide max: PGD drops mul8u_JV3 from 90 to 20.
+	if loss != 70 || atk != "PGD-linf" || victim != "mul8u_JV3" || eps != 0.1 {
+		t.Fatalf("MaxAccuracyLoss = %v %q %q %v", loss, atk, victim, eps)
+	}
+}
+
+func TestReportGridLookup(t *testing.T) {
+	r := sampleReport()
+	if g, ok := r.Grid("PGD-linf"); !ok || g.Attack != "PGD-linf" {
+		t.Fatalf("Grid(PGD-linf) = %v, %v", g, ok)
+	}
+	if _, ok := r.Grid("CR-l2"); ok {
+		t.Fatal("absent attack must report !ok")
+	}
+}
+
+func TestReportCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleReport().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	// Header + 2 grids x 2 eps x 2 victims.
+	if len(lines) != 1+8 {
+		t.Fatalf("CSV has %d lines:\n%s", len(lines), buf.String())
+	}
+	if lines[0] != "attack,dataset,eps,victim,robustness_pct" {
+		t.Fatalf("CSV header = %q", lines[0])
+	}
+	if lines[4] != "FGM-linf,digits,0.1,mul8u_JV3,40" {
+		t.Fatalf("CSV row 4 = %q", lines[4])
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	r := sampleReport()
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Spec.Model != r.Spec.Model || back.CleanAcc != r.CleanAcc {
+		t.Fatalf("round-trip lost spec/clean acc: %+v", back)
+	}
+	if len(back.Grids) != 2 || back.Grids[1].Acc[1][1] != 20 {
+		t.Fatalf("round-trip lost grid data: %+v", back.Grids)
+	}
+	if len(back.Cells) != 4 || !back.Cells[2].CacheHit {
+		t.Fatalf("round-trip lost cell timings: %+v", back.Cells)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	s := sampleReport().String()
+	if !strings.Contains(s, "FGM-linf") || !strings.Contains(s, "PGD-linf") {
+		t.Fatalf("report text missing grids:\n%s", s)
+	}
+	if !strings.Contains(s, "max accuracy loss: 70%") {
+		t.Fatalf("report text missing suite headline:\n%s", s)
+	}
+}

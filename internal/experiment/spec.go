@@ -1,0 +1,180 @@
+// Package experiment is the declarative face of the reproduction: a
+// JSON-(de)serializable Spec describes an entire evaluation suite —
+// source model, victim multipliers and quantization, multiple attacks,
+// eps sweeps, sample counts, seed — and an Engine executes it under a
+// context with its own caches, returning a multi-grid Report and
+// streaming progress events along the way.
+//
+// The paper's methodology (Algorithm 1) is run at suite scale: six
+// attacks × two norms × eps grids × dozens of AxDNN victims (Figs.
+// 4-7, Table I). A Spec captures one such suite as data, so the same
+// protocol can be checked in, diffed, replayed (cmd/axrobust -spec),
+// and reproduced in a single engine.Run call with crafted-batch reuse
+// across every grid that shares a cell.
+package experiment
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/attack"
+	"repro/internal/axmult"
+)
+
+// Spec declares one evaluation suite. The zero values of optional
+// fields select the same defaults the cmd tools use, so minimal specs
+// stay short. Multiplier entries may be the aliases "mnist" or
+// "cifar", which expand to the paper's Figs. 4-6 / Fig. 7 sets.
+type Spec struct {
+	// Name labels the suite in reports and progress output.
+	Name string `json:"name,omitempty"`
+	// Model is the modelzoo identifier of the accurate source model
+	// the attacks are crafted on.
+	Model string `json:"model"`
+	// VictimModel optionally names a different modelzoo model to build
+	// the AxDNN victims from — the Table II transferability scenario,
+	// where examples crafted on Model replay on another architecture.
+	// Empty means Model itself. The victims are evaluated on the
+	// victim model's test set.
+	VictimModel string `json:"victim_model,omitempty"`
+	// Multipliers are the approximate designs, one victim per entry
+	// ("mnist"/"cifar" expand to the paper's sets).
+	Multipliers []string `json:"multipliers"`
+	// Bits is the victim quantization level (the paper's Qlevel);
+	// 0 means 8.
+	Bits uint `json:"bits,omitempty"`
+	// ApproxDense routes dense-layer products through the approximate
+	// multiplier too.
+	ApproxDense bool `json:"approx_dense,omitempty"`
+	// Attacks name the attacks to sweep, one Grid per entry.
+	Attacks []string `json:"attacks"`
+	// Eps are the perturbation budgets of every sweep.
+	Eps []float64 `json:"eps"`
+	// Samples caps the number of test samples (0 = all).
+	Samples int `json:"samples,omitempty"`
+	// Seed drives the attack randomness.
+	Seed int64 `json:"seed,omitempty"`
+	// Workers caps parallelism (0 = GOMAXPROCS).
+	Workers int `json:"workers,omitempty"`
+	// Batch caps the crafting/evaluation batch size (0 = derived).
+	Batch int `json:"batch,omitempty"`
+}
+
+// Load reads and validates a Spec from a JSON file.
+func Load(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: reading spec: %w", err)
+	}
+	s, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: spec %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// Parse decodes and validates a Spec from JSON. Unknown fields are
+// rejected so a typo in a checked-in spec fails loudly instead of
+// silently running defaults.
+func Parse(data []byte) (*Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	s := &Spec{}
+	if err := dec.Decode(s); err != nil {
+		return nil, err
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Encode renders the spec as canonical indented JSON with a trailing
+// newline — the format of the checked-in testdata/specs files, so
+// Load followed by Encode round-trips them byte for byte.
+func (s *Spec) Encode() ([]byte, error) {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// Validate checks everything that can be checked without touching the
+// model zoo: attacks resolve, multipliers resolve after alias
+// expansion, budgets and counts are sane. Model names are validated
+// by the engine's model source at run time.
+func (s *Spec) Validate() error {
+	if s.Model == "" {
+		return fmt.Errorf("spec: model is required")
+	}
+	if len(s.Attacks) == 0 {
+		return fmt.Errorf("spec: at least one attack is required")
+	}
+	for _, name := range s.Attacks {
+		if attack.ByName(name) == nil {
+			return fmt.Errorf("spec: unknown attack %q (have %v)", name, attack.Names())
+		}
+	}
+	mults := s.ExpandMultipliers()
+	if len(mults) == 0 {
+		return fmt.Errorf("spec: at least one multiplier is required")
+	}
+	for _, m := range mults {
+		if _, err := axmult.Lookup(m); err != nil {
+			return fmt.Errorf("spec: %w", err)
+		}
+	}
+	if len(s.Eps) == 0 {
+		return fmt.Errorf("spec: at least one eps budget is required")
+	}
+	for _, e := range s.Eps {
+		if e < 0 {
+			return fmt.Errorf("spec: negative eps %g", e)
+		}
+	}
+	if s.Samples < 0 {
+		return fmt.Errorf("spec: negative samples %d", s.Samples)
+	}
+	if s.Workers < 0 || s.Batch < 0 {
+		return fmt.Errorf("spec: negative workers/batch")
+	}
+	return nil
+}
+
+// ExpandMultipliers resolves the "mnist"/"cifar" set aliases into
+// concrete multiplier names, preserving order and leaving explicit
+// names untouched.
+func (s *Spec) ExpandMultipliers() []string {
+	var out []string
+	for _, m := range s.Multipliers {
+		switch m {
+		case "mnist":
+			out = append(out, axmult.MNISTSet()...)
+		case "cifar":
+			out = append(out, axmult.CIFARSet()...)
+		default:
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// attackList resolves the attack names; Validate guarantees success.
+func (s *Spec) attackList() []attack.Attack {
+	atks := make([]attack.Attack, len(s.Attacks))
+	for i, name := range s.Attacks {
+		atks[i] = attack.ByName(name)
+	}
+	return atks
+}
+
+// victimModel returns the modelzoo name the victims are built from.
+func (s *Spec) victimModel() string {
+	if s.VictimModel != "" {
+		return s.VictimModel
+	}
+	return s.Model
+}

@@ -1,0 +1,108 @@
+package experiment
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// specsDir locates the checked-in example specs relative to this
+// package.
+const specsDir = "../../testdata/specs"
+
+// TestSpecGoldenRoundTrip pins the canonical encoding: every
+// checked-in spec file must decode, validate, and re-encode to the
+// identical bytes, so the files double as golden fixtures for the
+// JSON surface.
+func TestSpecGoldenRoundTrip(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join(specsDir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 3 {
+		t.Fatalf("expected several example specs under %s, found %v", specsDir, paths)
+	}
+	for _, path := range paths {
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := Load(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		got, err := s.Encode()
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s does not round-trip through Spec.Encode:\n--- file ---\n%s--- re-encoded ---\n%s", path, want, got)
+		}
+	}
+}
+
+func validSpec() *Spec {
+	return &Spec{
+		Model:       "lenet5-digits",
+		Multipliers: []string{"mul8u_1JFF"},
+		Attacks:     []string{"FGM-linf"},
+		Eps:         []float64{0, 0.1},
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	if err := validSpec().Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+	}{
+		{"no model", func(s *Spec) { s.Model = "" }},
+		{"no attacks", func(s *Spec) { s.Attacks = nil }},
+		{"unknown attack", func(s *Spec) { s.Attacks = []string{"DeepFool"} }},
+		{"no multipliers", func(s *Spec) { s.Multipliers = nil }},
+		{"unknown multiplier", func(s *Spec) { s.Multipliers = []string{"mul8u_NOPE"} }},
+		{"no eps", func(s *Spec) { s.Eps = nil }},
+		{"negative eps", func(s *Spec) { s.Eps = []float64{-0.1} }},
+		{"negative samples", func(s *Spec) { s.Samples = -1 }},
+		{"negative workers", func(s *Spec) { s.Workers = -2 }},
+	}
+	for _, tc := range cases {
+		s := validSpec()
+		tc.mutate(s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted an invalid spec", tc.name)
+		}
+	}
+}
+
+func TestParseRejectsUnknownFields(t *testing.T) {
+	_, err := Parse([]byte(`{"model":"lenet5-digits","multipliers":["mul8u_1JFF"],"attacks":["FGM-linf"],"eps":[0.1],"sampels":10}`))
+	if err == nil {
+		t.Fatal("a typoed field must fail Parse, not silently run defaults")
+	}
+}
+
+func TestExpandMultipliers(t *testing.T) {
+	s := &Spec{Multipliers: []string{"mnist", "mul8u_L1G"}}
+	got := s.ExpandMultipliers()
+	if len(got) != 10 { // 9-entry mnist set + 1 explicit
+		t.Fatalf("mnist alias + explicit expanded to %v", got)
+	}
+	if got[len(got)-1] != "mul8u_L1G" {
+		t.Fatalf("explicit name not preserved in order: %v", got)
+	}
+	for _, m := range got[:9] {
+		if m == "mnist" {
+			t.Fatal("alias not expanded")
+		}
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load(filepath.Join(specsDir, "does-not-exist.json")); err == nil {
+		t.Fatal("expected error for missing spec file")
+	}
+}

@@ -7,7 +7,9 @@
 package modelzoo
 
 import (
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -121,7 +123,17 @@ func Get(name string) (*Model, error) {
 	test := e.testFn()
 	path := filepath.Join(Dir(), name+".bin")
 	if err := weights.Load(net, path); err != nil {
-		// Cache miss (or stale format): train from scratch.
+		if !errors.Is(err, fs.ErrNotExist) {
+			// The cache file was there but didn't load into this
+			// architecture: a corrupt, stale, or unreadable entry.
+			// Fail with a message rather than silently retraining
+			// (which would mask disk corruption) or crashing
+			// downstream. Classifying on the Load error itself (not a
+			// second Stat) avoids misreading a cache file that another
+			// process publishes between the two calls.
+			return nil, fmt.Errorf("modelzoo: corrupt or unreadable weight cache for %s at %s (delete it to retrain): %w", name, path, err)
+		}
+		// Cache miss: train from scratch.
 		tr := e.trainFn()
 		cfg := e.cfg
 		if os.Getenv("AXREPRO_VERBOSE") != "" {
@@ -140,13 +152,4 @@ func Get(name string) (*Model, error) {
 	m.CleanAcc = 100 * train.Accuracy(net, test, 0)
 	cache[name] = m
 	return m, nil
-}
-
-// MustGet is Get for experiment code with static names.
-func MustGet(name string) *Model {
-	m, err := Get(name)
-	if err != nil {
-		panic(err)
-	}
-	return m
 }

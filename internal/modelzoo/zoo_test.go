@@ -1,7 +1,14 @@
 package modelzoo
 
 import (
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/models"
+	"repro/internal/nn"
 )
 
 func TestNamesStable(t *testing.T) {
@@ -61,5 +68,35 @@ func TestTestSetDisjointSeedFromTrain(t *testing.T) {
 		if same {
 			t.Fatalf("%s: train and test share data", name)
 		}
+	}
+}
+
+// TestGetCorruptCacheEntry pins the error path: a weight-cache file
+// that exists but does not decode must fail the run with a message —
+// never crash, never silently retrain over possible disk corruption.
+func TestGetCorruptCacheEntry(t *testing.T) {
+	const name = "corrupt-cache-test"
+	entries[name] = entry{
+		build:   func() *nn.Network { return models.FFNN(28*28, 10, 99) },
+		trainFn: func() *dataset.Set { return dataset.Digits(10, 1) },
+		testFn:  func() *dataset.Set { return dataset.Digits(10, 2) },
+	}
+	path := filepath.Join(Dir(), name+".bin")
+	if err := os.WriteFile(path, []byte("not a weights file"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		os.Remove(path)
+		delete(entries, name)
+		mu.Lock()
+		delete(cache, name)
+		mu.Unlock()
+	}()
+	_, err := Get(name)
+	if err == nil {
+		t.Fatal("corrupt cache entry must fail Get")
+	}
+	if !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("error should say the cache is corrupt: %v", err)
 	}
 }

@@ -12,50 +12,59 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 
 	"repro/internal/nn"
 )
 
 const magic = "AXDNNW1\n"
 
-// Save writes all parameters of net to path (atomically via a temp
-// file).
+// Save writes all parameters of net to path, atomically via a
+// process-private temp file (os.CreateTemp, not a fixed "path.tmp"),
+// so two processes cold-training the same model concurrently cannot
+// interleave writes into one torn file and publish it with the
+// rename.
 func Save(net *nn.Network, path string) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
 	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
 		return err
 	}
 	w := bufio.NewWriter(f)
 	if _, err := w.WriteString(magic); err != nil {
-		f.Close()
-		return err
+		return fail(err)
 	}
 	params := net.Params()
 	if err := binary.Write(w, binary.LittleEndian, uint32(len(params))); err != nil {
-		f.Close()
-		return err
+		return fail(err)
 	}
 	for _, p := range params {
 		if err := binary.Write(w, binary.LittleEndian, uint32(len(p.W))); err != nil {
-			f.Close()
-			return err
+			return fail(err)
 		}
 		for _, v := range p.W {
 			if err := binary.Write(w, binary.LittleEndian, math.Float32bits(v)); err != nil {
-				f.Close()
-				return err
+				return fail(err)
 			}
 		}
 	}
 	if err := w.Flush(); err != nil {
-		f.Close()
-		return err
+		return fail(err)
 	}
 	if err := f.Close(); err != nil {
+		os.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
 // Load reads parameters from path into net. The network must have the

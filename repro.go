@@ -16,6 +16,13 @@
 //	dataset           synthetic MNIST/CIFAR-10 substitutes
 //	models, modelzoo  LeNet-5 / AlexNet / FFNN builders and trained cache
 //	core              Algorithm 1: the robustness evaluation methodology
+//	experiment        declarative suites: JSON Spec -> Engine.Run -> Report
+//	cli               shared flag parsing / progress rendering for cmd tools
+//
+// Whole evaluation suites (many attacks x eps x victims, the shape of
+// Figs. 4-7) are declared as experiment.Spec JSON and executed by an
+// experiment.Engine with owned caches, context cancellation, and
+// streaming progress events; example specs live in testdata/specs.
 //
 // Executables under cmd/ (axtrain, axrobust, axtransfer, axquant,
 // axmultinfo) drive the experiments; bench_test.go regenerates every
