@@ -188,7 +188,7 @@ func BenchmarkFig8_Quantization(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		var out string
 		var qWins, total int
-		for _, atk := range attack.All() {
+		for _, atk := range attack.TableI() {
 			g := core.RobustnessGrid(m.Net, victims, m.Test, atk, paperEps, opts)
 			out += g.String()
 			q, qok := g.Column(victims[1].Name)

@@ -49,7 +49,7 @@ func main() {
 	if err != nil {
 		cli.Fail("axquant", err)
 	}
-	for _, atk := range attack.All() {
+	for _, atk := range attack.TableI() {
 		g := core.RobustnessGrid(m.Net, victims, m.Test, atk, eps, core.Options{Samples: *n, Seed: 5})
 		fmt.Print(g)
 		q, qok := g.Column(victims[1].Name)

@@ -15,6 +15,8 @@
 //	axrobust -model lenet5-digits -attack BIM-linf,FGM-linf -progress
 //	axrobust -spec testdata/specs/fig4.json -format csv
 //	axrobust -spec testdata/specs/fig4c.json -n 8
+//	axrobust -spec testdata/specs/universal.json                 # UAP/MI-FGSM suite
+//	axrobust -model lenet5-digits -attack PGD-linf -restarts 5
 package main
 
 import (
@@ -40,6 +42,9 @@ func main() {
 	epsList := flag.String("eps", "0,0.05,0.1,0.15,0.2,0.25,0.5,1,1.5,2", "comma-separated perturbation budgets")
 	n := flag.Int("n", 300, "test samples")
 	seed := flag.Int64("seed", 7, "attack randomness seed")
+	momentum := flag.Float64("momentum", 0, "MI-FGSM momentum decay mu (0 = attack default)")
+	restarts := flag.Int("restarts", 0, "PGD random restarts (0 or 1 = plain PGD)")
+	uapIters := flag.Int("uap-iters", 0, "UAP passes over the sample set (0 = attack default)")
 	bits := flag.Uint("bits", 8, "quantization level (Qlevel)")
 	approxDense := flag.Bool("approx-dense", false, "route dense-layer products through the approximate multiplier")
 	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
@@ -62,6 +67,15 @@ func main() {
 	// every flag's value — default or explicit — fills the spec
 	// (flag.VisitAll).
 	spec := &experiment.Spec{}
+	// A zero param keeps the attack's own default, so params are only
+	// materialised in the spec once some knob is set (or the spec file
+	// already carries them and a flag overrides one).
+	param := func() *experiment.AttackParams {
+		if spec.AttackParams == nil {
+			spec.AttackParams = &experiment.AttackParams{}
+		}
+		return spec.AttackParams
+	}
 	applyFlag := func(f *flag.Flag) {
 		switch f.Name {
 		case "model":
@@ -82,6 +96,18 @@ func main() {
 			spec.ApproxDense = *approxDense
 		case "workers":
 			spec.Workers = *workers
+		case "momentum":
+			if *momentum != 0 || spec.AttackParams != nil {
+				param().Momentum = *momentum
+			}
+		case "restarts":
+			if *restarts != 0 || spec.AttackParams != nil {
+				param().Restarts = *restarts
+			}
+		case "uap-iters":
+			if *uapIters != 0 || spec.AttackParams != nil {
+				param().UAPIters = *uapIters
+			}
 		}
 	}
 	if *specPath != "" {

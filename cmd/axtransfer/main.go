@@ -1,7 +1,9 @@
 // Command axtransfer reproduces the paper's Table II: transferability
 // of adversarial examples crafted on one (accurate) architecture to
 // AxDNN victims of the same and the other architecture, on both
-// datasets, with BIM-linf at eps = 0.05.
+// datasets, with BIM-linf at eps = 0.05 by default. -attack swaps in
+// any other crafter — including the universal/momentum family
+// (UAP, MIFGSM) and restarted PGD — for the same protocol.
 //
 // Within each dataset both architectures consume the same input
 // geometry (28x28 digits are presented as 32x32x3 to both LeNet-5 and
@@ -16,6 +18,9 @@
 // Usage:
 //
 //	axtransfer [-eps 0.05] [-n 300] [-mult mul8u_17KS] [-progress]
+//	axtransfer -attack MIFGSM-linf               # momentum transfer
+//	axtransfer -attack UAP-linf                  # universal transfer
+//	axtransfer -attack PGD-linf -restarts 3
 //	axtransfer -spec testdata/specs/table2-digits-cross.json
 package main
 
@@ -27,16 +32,31 @@ import (
 	"os/signal"
 
 	"repro/internal/cli"
+	"repro/internal/core"
 	"repro/internal/experiment"
 )
 
 func main() {
 	specPath := flag.String("spec", "", "run one transfer cell declared in this JSON spec file")
+	atkName := flag.String("attack", "BIM-linf", "attack crafted on the source model")
 	eps := flag.Float64("eps", 0.05, "perturbation budget")
 	n := flag.Int("n", 300, "test samples per cell")
 	mult := flag.String("mult", "", "multiplier for all Ax victims (default: 17KS for LeNet, KEM for AlexNet)")
+	restarts := flag.Int("restarts", 0, "PGD random restarts (0 or 1 = plain PGD)")
 	progress := flag.Bool("progress", false, "stream per-cell progress to stderr")
 	flag.Parse()
+
+	var params *experiment.AttackParams
+	if *restarts > 1 {
+		params = &experiment.AttackParams{Restarts: *restarts}
+	}
+	// Each cell sweeps the clean row plus the budget — unless the
+	// budget *is* the clean row, which spec validation (rightly)
+	// rejects as a duplicate.
+	cellEps := []float64{0}
+	if core.EpsKey(*eps) != 0 {
+		cellEps = append(cellEps, *eps)
+	}
 
 	var engineOpts []experiment.Option
 	if *progress {
@@ -58,9 +78,18 @@ func main() {
 			case "n":
 				spec.Samples = *n
 			case "eps":
-				spec.Eps = []float64{0, *eps}
+				spec.Eps = cellEps
 			case "mult":
 				spec.Multipliers = []string{*mult}
+			case "attack":
+				spec.Attacks = []string{*atkName}
+			case "restarts":
+				// Merge into the spec's params: an explicit -restarts
+				// must not discard momentum/uap_iters the spec set.
+				if spec.AttackParams == nil {
+					spec.AttackParams = &experiment.AttackParams{}
+				}
+				spec.AttackParams.Restarts = *restarts
 			}
 		})
 		rep, err := eng.Run(ctx, spec)
@@ -71,7 +100,7 @@ func main() {
 		return
 	}
 
-	fmt.Printf("Transferability (Table II): BIM-linf eps=%g\n", *eps)
+	fmt.Printf("Transferability (Table II): %s eps=%g\n", *atkName, *eps)
 	fmt.Printf("%-36s %-8s %s\n", "source -> victim", "dataset", "clean/adv")
 
 	datasets := []struct {
@@ -93,21 +122,23 @@ func main() {
 					}
 				}
 				spec := &experiment.Spec{
-					Name:        source + "->" + victim,
-					Model:       source,
-					VictimModel: victim,
-					Multipliers: []string{m},
-					Attacks:     []string{"BIM-linf"},
-					Eps:         []float64{0, *eps},
-					Samples:     *n,
-					Seed:        17,
+					Name:         source + "->" + victim,
+					Model:        source,
+					VictimModel:  victim,
+					Multipliers:  []string{m},
+					Attacks:      []string{*atkName},
+					AttackParams: params,
+					Eps:          cellEps,
+					Samples:      *n,
+					Seed:         17,
 				}
 				rep, err := eng.Run(ctx, spec)
 				if err != nil {
 					cli.Fail("axtransfer", err)
 				}
 				g := rep.Grids[0]
-				fmt.Printf("%-36s %-8s %3.0f/%-3.0f\n", source+" -> Ax("+victim+")", d.name, g.Acc[0][0], g.Acc[1][0])
+				// With -eps 0 the cell has a single (clean) row.
+				fmt.Printf("%-36s %-8s %3.0f/%-3.0f\n", source+" -> Ax("+victim+")", d.name, g.Acc[0][0], g.Acc[len(g.Acc)-1][0])
 			}
 		}
 	}

@@ -4,6 +4,12 @@
 //	gradient-based: FGM (l2, linf), BIM (l2, linf), PGD (l2, linf)
 //	decision-based: CR (l2), RAG (l2), RAU (l2, linf)
 //
+// plus a universal/targeted extension family beyond Table I:
+//
+//	momentum: MIFGSM (l2, linf) — momentum-iterative FGSM
+//	set-level: UAP (l2, linf) — one image-agnostic perturbation per set
+//	wrapper: Restart — random restarts around PGD (see NewRestart)
+//
 // Attacks perturb a correctly labelled input within a perturbation
 // budget eps measured in the attack's norm, clamping to the valid pixel
 // box [0,1]. Per the paper's threat model, attacks are always run
@@ -117,8 +123,8 @@ func project(norm Norm, adv, x *tensor.T, eps float64) {
 	}
 }
 
-// All returns the paper's full ten-attack suite in Table I order.
-func All() []Attack {
+// TableI returns the paper's ten-attack suite in Table I order.
+func TableI() []Attack {
 	return []Attack{
 		NewFGM(L2), NewFGM(Linf),
 		NewBIM(L2), NewBIM(Linf),
@@ -129,7 +135,18 @@ func All() []Attack {
 	}
 }
 
-// Names lists the attack names of the full suite, in Table I order —
+// All returns every registered attack: the Table I suite followed by
+// the universal/momentum extension family (MI-FGSM and the UAP set
+// attack). The PGD restart wrapper is configuration (see NewRestart
+// and experiment.AttackParams), not a registry entry.
+func All() []Attack {
+	return append(TableI(),
+		NewMIFGSM(L2), NewMIFGSM(Linf),
+		NewUAP(L2), NewUAP(Linf),
+	)
+}
+
+// Names lists the attack names of the full suite, Table I first —
 // the valid values for spec files and -attack flags.
 func Names() []string {
 	all := All()

@@ -42,9 +42,14 @@ func correctSample(t *testing.T, m Model, set *dataset.Set) (*tensor.T, int) {
 	return nil, 0
 }
 
-func TestAllReturnsTenAttacks(t *testing.T) {
-	if n := len(All()); n != 10 {
-		t.Fatalf("All() has %d attacks, want 10 (Table I)", n)
+func TestAllReturnsAttackRegistry(t *testing.T) {
+	if n := len(TableI()); n != 10 {
+		t.Fatalf("TableI() has %d attacks, want 10", n)
+	}
+	// Table I's ten plus the universal/momentum family: MIFGSM and UAP
+	// in both norms.
+	if n := len(All()); n != 14 {
+		t.Fatalf("All() has %d attacks, want 14", n)
 	}
 	seen := map[string]bool{}
 	for _, a := range All() {
@@ -52,6 +57,11 @@ func TestAllReturnsTenAttacks(t *testing.T) {
 			t.Fatalf("duplicate attack name %s", a.Name())
 		}
 		seen[a.Name()] = true
+	}
+	for _, name := range []string{"MIFGSM-l2", "MIFGSM-linf", "UAP-l2", "UAP-linf"} {
+		if !seen[name] {
+			t.Fatalf("registry is missing %s", name)
+		}
 	}
 }
 

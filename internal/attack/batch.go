@@ -51,6 +51,12 @@ type scalarBatch struct {
 	Attack
 }
 
+// ConfigKey forwards the wrapped attack's cache identity: the adapter
+// must never degrade a Configurable attack to its bare Name, or
+// differently-tuned instances would share crafted-example cache
+// entries.
+func (s *scalarBatch) ConfigKey() string { return ConfigKey(s.Attack) }
+
 func (s *scalarBatch) PerturbBatch(m Model, xs *tensor.T, labels []int, eps float64, rngs []*rand.Rand) *tensor.T {
 	out := tensor.New(xs.Shape...)
 	for r := 0; r < xs.Rows(); r++ {

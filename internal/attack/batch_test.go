@@ -34,7 +34,7 @@ func batchFixture(t *testing.T, n int) (GradModel, *tensor.T, []int, func() []*r
 // and both norms.
 func TestBatchedGradientAttacksMatchScalar(t *testing.T) {
 	m, batch, labels, mkRngs := batchFixture(t, 6)
-	for _, name := range []string{"FGM-l2", "FGM-linf", "BIM-l2", "BIM-linf", "PGD-l2", "PGD-linf"} {
+	for _, name := range []string{"FGM-l2", "FGM-linf", "BIM-l2", "BIM-linf", "PGD-l2", "PGD-linf", "MIFGSM-l2", "MIFGSM-linf"} {
 		atk := ByName(name)
 		b, ok := atk.(BatchAttack)
 		if !ok {

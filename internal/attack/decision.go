@@ -84,13 +84,16 @@ func (a *noiseAttack) Perturb(m Model, x *tensor.T, label int, eps float64, rng 
 	var last *tensor.T
 	for r := 0; r < a.repeats; r++ {
 		d := a.sample(x.Shape, rng)
+		// A zero direction cannot be scaled to the budget and would
+		// silently return the input unperturbed; resample so eps>0
+		// always spends the budget.
+		for d.LinfNorm() == 0 {
+			d = a.sample(x.Shape, rng)
+		}
 		adv := x.Clone()
 		if a.norm == Linf {
 			// Scale the direction to have linf norm exactly eps.
-			mx := d.LinfNorm()
-			if mx > 0 {
-				adv.AddScaled(float32(eps/mx), d)
-			}
+			adv.AddScaled(float32(eps/d.LinfNorm()), d)
 		} else {
 			stepL2(adv, d, eps)
 		}

@@ -96,6 +96,11 @@ func (a *BIM) ConfigKey() string {
 // Norm implements Attack.
 func (a *BIM) Norm() Norm { return a.norm }
 
+// RandomStart reports whether this instance is the PGD variant —
+// i.e. whether re-running it draws fresh randomness, which is what
+// makes wrapping it in Restart meaningful.
+func (a *BIM) RandomStart() bool { return a.randomStart }
+
 // Perturb implements Attack.
 func (a *BIM) Perturb(m Model, x *tensor.T, label int, eps float64, rng *rand.Rand) *tensor.T {
 	g := mustGrad(m, a.Name())

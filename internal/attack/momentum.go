@@ -1,0 +1,116 @@
+package attack
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// MIFGSM is the Momentum Iterative FGSM (Dong et al. 2018; Foolbox's
+// momentum-iterative attacks): BIM with a decayed accumulator of
+// L1-normalised gradients steering every step, which stabilises the
+// update direction across iterations and transfers better than plain
+// BIM. Defaults: 10 steps, mu = 0.9, step size eps/10.
+type MIFGSM struct {
+	norm Norm
+	// Steps is the number of gradient iterations.
+	Steps int
+	// Mu is the momentum decay applied to the accumulated gradient.
+	Mu float64
+	// RelStep is the per-iteration step size relative to eps.
+	RelStep float64
+}
+
+// NewMIFGSM returns an MI-FGSM attack bounded by the given norm.
+func NewMIFGSM(n Norm) *MIFGSM {
+	return &MIFGSM{norm: n, Steps: 10, Mu: 0.9, RelStep: 0.1}
+}
+
+// Name implements Attack.
+func (a *MIFGSM) Name() string { return fmt.Sprintf("MIFGSM-%s", a.norm) }
+
+// Norm implements Attack.
+func (a *MIFGSM) Norm() Norm { return a.norm }
+
+// ConfigKey implements Configurable: Steps, Mu, and RelStep are
+// exported tuning knobs, so crafted-example caches must distinguish
+// them.
+func (a *MIFGSM) ConfigKey() string {
+	return fmt.Sprintf("%s[steps=%d,mu=%g,rel=%g]", a.Name(), a.Steps, a.Mu, a.RelStep)
+}
+
+// Perturb implements Attack.
+func (a *MIFGSM) Perturb(m Model, x *tensor.T, label int, eps float64, _ *rand.Rand) *tensor.T {
+	g := mustGrad(m, a.Name())
+	if eps == 0 {
+		return x.Clone()
+	}
+	adv := x.Clone()
+	mom := tensor.New(x.Shape...)
+	alpha := a.RelStep * eps
+	for s := 0; s < a.Steps; s++ {
+		_, grad := g.LossGrad(adv, label)
+		a.accumulate(mom, grad)
+		a.step(adv, mom, alpha)
+		project(a.norm, adv, x, eps)
+		adv.Clamp(0, 1)
+	}
+	return adv
+}
+
+// PerturbBatch implements BatchAttack: every gradient step is one
+// batched LossGradBatch call; the momentum accumulator is per-row, so
+// the crafted batch is bit-for-bit the scalar crafted samples.
+func (a *MIFGSM) PerturbBatch(m Model, xs *tensor.T, labels []int, eps float64, _ []*rand.Rand) *tensor.T {
+	g := mustBatchGrad(m, a.Name())
+	if eps == 0 {
+		return xs.Clone()
+	}
+	adv := xs.Clone()
+	mom := tensor.New(xs.Shape...)
+	alpha := a.RelStep * eps
+	for s := 0; s < a.Steps; s++ {
+		_, grad := g.LossGradBatch(adv, labels)
+		for r := 0; r < adv.Rows(); r++ {
+			a.accumulate(mom.Row(r), grad.Row(r))
+			a.step(adv.Row(r), mom.Row(r), alpha)
+		}
+		projectRows(a.norm, adv, xs, eps)
+		adv.Clamp(0, 1)
+	}
+	return adv
+}
+
+// accumulate folds one L1-normalised gradient into the momentum
+// buffer: mom = mu*mom + grad/||grad||_1. grad is consumed.
+func (a *MIFGSM) accumulate(mom, grad *tensor.T) {
+	if n := grad.L1Norm(); n > 0 {
+		grad.Scale(float32(1 / n))
+	}
+	mom.Scale(float32(a.Mu))
+	mom.AddScaled(1, grad)
+}
+
+// step moves adv along the momentum direction: its sign for linf, its
+// L2-normalised direction for l2.
+func (a *MIFGSM) step(adv, mom *tensor.T, alpha float64) {
+	if a.norm == Linf {
+		addSign(adv, mom, alpha)
+	} else {
+		stepL2(adv, mom, alpha)
+	}
+}
+
+// addSign adds alpha*sign(d) to x without mutating d.
+func addSign(x, d *tensor.T, alpha float64) {
+	a := float32(alpha)
+	for i, v := range d.Data {
+		switch {
+		case v > 0:
+			x.Data[i] += a
+		case v < 0:
+			x.Data[i] -= a
+		}
+	}
+}

@@ -8,18 +8,28 @@ package cli
 
 import (
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 	"strings"
 )
 
 // ParseEps parses a comma-separated list of perturbation budgets.
+// Budgets must be finite and non-negative: ParseFloat happily accepts
+// "NaN" and "+Inf", which are never meaningful eps values and would
+// poison downstream eps quantization.
 func ParseEps(s string) ([]float64, error) {
 	var eps []float64
 	for _, tok := range strings.Split(s, ",") {
 		v, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
 		if err != nil {
 			return nil, fmt.Errorf("bad eps %q: %w", tok, err)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("non-finite eps %q", strings.TrimSpace(tok))
+		}
+		if v < 0 {
+			return nil, fmt.Errorf("negative eps %g", v)
 		}
 		eps = append(eps, v)
 	}

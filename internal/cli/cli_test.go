@@ -16,6 +16,17 @@ func TestParseEps(t *testing.T) {
 	if _, err := ParseEps("0,zero"); err == nil {
 		t.Fatal("expected error for non-numeric eps")
 	}
+	// ParseFloat accepts these spellings, but no eps sweep wants them:
+	// NaN/Inf poison downstream eps quantization and negatives are
+	// meaningless budgets.
+	for _, bad := range []string{"NaN", "0.1,nan", "+Inf", "-Inf", "Infinity", "-0.5"} {
+		if _, err := ParseEps(bad); err == nil {
+			t.Errorf("ParseEps(%q) accepted a non-finite or negative budget", bad)
+		}
+	}
+	if _, err := ParseEps("0,0.05"); err != nil {
+		t.Fatalf("finite non-negative budgets rejected: %v", err)
+	}
 }
 
 func TestParseList(t *testing.T) {

@@ -153,7 +153,7 @@ func (c *Cache) CraftedBatch(ctx context.Context, src *nn.Network, test *dataset
 	if test.Len() == 0 {
 		return nil, false, errors.New("core: cannot craft over an empty test set")
 	}
-	epsQ := epsKey(eps)
+	epsQ := EpsKey(eps)
 	if epsQ == 0 {
 		return c.cleanBatch(test)
 	}
@@ -161,7 +161,8 @@ func (c *Cache) CraftedBatch(ctx context.Context, src *nn.Network, test *dataset
 		src: src, srcFP: src.WeightsFingerprint(),
 		first: test.X[0], n: test.Len(),
 		// ConfigKey, not Name: tunable attack parameters (BIM/PGD
-		// steps) must never share cache entries.
+		// steps, MI-FGSM momentum, UAP iterations, restart counts)
+		// must never share cache entries.
 		attack: attack.ConfigKey(atk), epsQ: epsQ, seed: opts.Seed,
 	}
 	if v, ok := c.craft.Load(key); ok {
@@ -169,6 +170,22 @@ func (c *Cache) CraftedBatch(ctx context.Context, src *nn.Network, test *dataset
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, false, err
+	}
+
+	if sa, ok := atk.(attack.SetAttack); ok {
+		// Set-level attacks (UAP) craft one image-agnostic perturbation
+		// over the whole set, so there is nothing to chunk across
+		// workers: one PerturbSet call, one rng stream per (eps, seed) —
+		// independent of worker count and batch size, so two runs with
+		// the same seed memoise bit-identical batches. Cancellation is
+		// observed inside PerturbSet at chunk granularity; the partial
+		// result is discarded below, never memoised.
+		rng := rand.New(rand.NewSource(opts.Seed*1_000_003 + epsQ*7_919))
+		out := sa.PerturbSet(ctx, src, tensor.Stack(test.X), test.Y, eps, rng)
+		if err := ctx.Err(); err != nil {
+			return nil, false, err
+		}
+		return c.storeCrafted(key, out), false, nil
 	}
 
 	n := test.Len()

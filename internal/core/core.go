@@ -216,7 +216,7 @@ type craftKey struct {
 	first  *tensor.T
 	n      int
 	attack string
-	// epsQ is the quantised budget (see epsKey): budgets the Grid API
+	// epsQ is the quantised budget (see EpsKey): budgets the Grid API
 	// treats as equal must hit the same entry.
 	epsQ int64
 	seed int64
@@ -239,10 +239,12 @@ type fingerprinter interface {
 	WeightsFingerprint() uint64
 }
 
-// epsKey quantises a budget to the same tolerance Grid.At uses for
+// EpsKey quantises a budget to the same tolerance Grid.At uses for
 // comparison (epsTolerance), so budgets the API treats as equal craft
-// identically: same rng salt, same cache entry.
-func epsKey(eps float64) int64 {
+// identically: same rng salt, same cache entry. Exported so spec
+// validation (internal/experiment) can reject budget lists that would
+// alias in the cache and the Grid accessors.
+func EpsKey(eps float64) int64 {
 	return int64(math.Round(eps / epsTolerance))
 }
 

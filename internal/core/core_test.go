@@ -402,3 +402,102 @@ func TestRobustnessGridCtxCancellation(t *testing.T) {
 		t.Fatalf("cancelled sweep memoised %d partial batches", c.CraftedLen())
 	}
 }
+
+func TestSetAttackCraftedOnceAndCached(t *testing.T) {
+	// Set-level attacks (UAP) craft one image-agnostic perturbation
+	// per (attack, eps, seed) cell: crafted once, cached like any
+	// batch, deterministic across fresh caches and worker counts.
+	f := getFixture(t)
+	victims, err := BuildAxVictims(f.net, f.test, []string{"mul8u_1JFF"}, axnn.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	atk := attack.NewUAP(attack.Linf)
+	atk.Iters = 3
+	c := NewCache(CacheConfig{})
+	opts := Options{Samples: 40, Seed: 19, Cache: c, Workers: 1}
+	a := RobustnessGrid(f.net, victims, f.test, atk, []float64{0, 0.1}, opts)
+	if n := c.CraftedLen(); n != 2 {
+		t.Fatalf("cache holds %d batches after a 2-eps UAP grid, want 2", n)
+	}
+	b := RobustnessGrid(f.net, victims, f.test, atk, []float64{0, 0.1}, opts)
+	if n := c.CraftedLen(); n != 2 {
+		t.Fatalf("identical UAP sweep re-crafted: %d batches", n)
+	}
+	// A fresh cache and a different worker count must reproduce the
+	// grid bit for bit: set crafting is one call, not chunked work.
+	opts2 := Options{Samples: 40, Seed: 19, Cache: NewCache(CacheConfig{}), Workers: 4}
+	d := RobustnessGrid(f.net, victims, f.test, atk, []float64{0, 0.1}, opts2)
+	for ei := range a.Acc {
+		if a.Acc[ei][0] != b.Acc[ei][0] || a.Acc[ei][0] != d.Acc[ei][0] {
+			t.Fatalf("UAP grid not reproducible at row %d: %v %v %v", ei, a.Acc[ei][0], b.Acc[ei][0], d.Acc[ei][0])
+		}
+	}
+	// A different seed crafts a different universal perturbation.
+	test := f.test.Slice(40)
+	adv1, hit, err := c.CraftedBatch(context.Background(), f.net, test, atk, 0.1, opts)
+	if err != nil || !hit {
+		t.Fatalf("expected a cache hit for the crafted UAP batch (err=%v hit=%v)", err, hit)
+	}
+	adv2, _, err := c.CraftedBatch(context.Background(), f.net, test, atk, 0.1, Options{Samples: 40, Seed: 20, Cache: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range adv1.Data {
+		if adv1.Data[i] != adv2.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced an identical universal perturbation")
+	}
+}
+
+func TestCraftedCacheKeysNewAttackKnobs(t *testing.T) {
+	// The new family's knobs — UAP iterations, PGD restart counts —
+	// must key distinct cache entries, exactly like BIM/PGD steps.
+	f := getFixture(t)
+	victims, err := BuildAxVictims(f.net, f.test, []string{"mul8u_1JFF"}, axnn.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCache(CacheConfig{})
+	opts := Options{Samples: 30, Seed: 5, Cache: c}
+	uapShort := attack.NewUAP(attack.Linf)
+	uapShort.Iters = 2
+	uapLong := attack.NewUAP(attack.Linf)
+	uapLong.Iters = 4
+	RobustnessGrid(f.net, victims, f.test, uapShort, []float64{0.1}, opts)
+	filled := c.CraftedLen()
+	RobustnessGrid(f.net, victims, f.test, uapLong, []float64{0.1}, opts)
+	if c.CraftedLen() != filled+1 {
+		t.Fatalf("differently-configured UAPs shared a cache entry (%d entries)", c.CraftedLen())
+	}
+	plain := attack.NewPGD(attack.Linf)
+	restarted := attack.NewRestart(attack.NewPGD(attack.Linf), 3)
+	RobustnessGrid(f.net, victims, f.test, plain, []float64{0.1}, opts)
+	filled = c.CraftedLen()
+	RobustnessGrid(f.net, victims, f.test, restarted, []float64{0.1}, opts)
+	if c.CraftedLen() != filled+1 {
+		t.Fatalf("restarted PGD shared plain PGD's cache entry (%d entries)", c.CraftedLen())
+	}
+}
+
+func TestSetAttackObservesCancellation(t *testing.T) {
+	// The set-level crafting path must return ctx.Err() without
+	// memoising the partial perturbation.
+	f := getFixture(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := NewCache(CacheConfig{})
+	atk := attack.NewUAP(attack.Linf)
+	adv, hit, err := c.CraftedBatch(ctx, f.net, f.test.Slice(20), atk, 0.1, Options{Samples: 20, Seed: 3, Cache: c})
+	if adv != nil || hit || !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled set crafting returned (%v, %v, %v), want (nil, false, context.Canceled)", adv, hit, err)
+	}
+	if c.CraftedLen() != 0 {
+		t.Fatalf("cancelled set crafting memoised %d batches", c.CraftedLen())
+	}
+}

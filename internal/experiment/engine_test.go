@@ -234,3 +234,68 @@ func TestEngineUnknownModel(t *testing.T) {
 		t.Fatal("invalid spec must fail the run with an error")
 	}
 }
+
+// TestEngineUniversalSuite is the acceptance criterion for the
+// set-level family: a UAP/MIFGSM/restarted-PGD suite runs end to end,
+// the UAP perturbation is crafted once per (eps, seed) and replayed
+// from the cache on repeat runs, and the Report is bit-identical
+// across two fresh engines with the same seed.
+func TestEngineUniversalSuite(t *testing.T) {
+	spec := tinySpec()
+	spec.Attacks = []string{"UAP-linf", "MIFGSM-linf", "PGD-linf"}
+	spec.AttackParams = &AttackParams{Momentum: 0.9, Restarts: 2, UAPIters: 2}
+	spec.Samples = 40
+
+	var events []Event
+	eng := New(WithModelSource(fixtureSource(t)), WithProgress(func(ev Event) { events = append(events, ev) }))
+	rep, err := eng.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Grids) != 3 {
+		t.Fatalf("suite produced %d grids, want 3", len(rep.Grids))
+	}
+	if g, ok := rep.Grid("UAP-linf"); !ok || g.Attack != "UAP-linf" {
+		t.Fatal("report is missing the UAP grid")
+	}
+	if g, ok := rep.Grid("PGD-linf"); !ok || g.Attack != "PGD-linf" {
+		t.Fatal("restarted PGD must still sweep under its plain name")
+	}
+
+	// Repeat run on the same engine: every cell — including the
+	// set-crafted UAP cells — replays from the cache.
+	events = nil
+	rep2, err := eng.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range events {
+		if ev.Kind == CellFinished && !ev.CacheHit {
+			t.Fatalf("repeated universal run re-crafted %s eps=%g", ev.Attack, ev.Eps)
+		}
+	}
+
+	// A fresh engine with the same spec/seed reproduces the report's
+	// numbers bit for bit.
+	rep3, err := New(WithModelSource(fixtureSource(t))).Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rep.Grids {
+		if !reflect.DeepEqual(rep.Grids[i].Acc, rep2.Grids[i].Acc) ||
+			!reflect.DeepEqual(rep.Grids[i].Acc, rep3.Grids[i].Acc) {
+			t.Fatalf("%s: universal suite not bit-identical across runs", rep.Grids[i].Attack)
+		}
+	}
+}
+
+// TestEngineRejectsDuplicateAttacks pins the Report.Grid collision
+// fix at the engine boundary: a spec with the same attack twice must
+// fail validation instead of producing colliding grids.
+func TestEngineRejectsDuplicateAttacks(t *testing.T) {
+	spec := tinySpec()
+	spec.Attacks = []string{"FGM-linf", "FGM-linf"}
+	if _, err := New(WithModelSource(fixtureSource(t))).Run(context.Background(), spec); err == nil {
+		t.Fatal("duplicate attacks must fail the run")
+	}
+}

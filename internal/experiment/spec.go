@@ -17,10 +17,12 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 
 	"repro/internal/attack"
 	"repro/internal/axmult"
+	"repro/internal/core"
 )
 
 // Spec declares one evaluation suite. The zero values of optional
@@ -50,6 +52,9 @@ type Spec struct {
 	ApproxDense bool `json:"approx_dense,omitempty"`
 	// Attacks name the attacks to sweep, one Grid per entry.
 	Attacks []string `json:"attacks"`
+	// AttackParams tunes the configurable attack families for the
+	// whole suite; nil keeps every attack's defaults.
+	AttackParams *AttackParams `json:"attack_params,omitempty"`
 	// Eps are the perturbation budgets of every sweep.
 	Eps []float64 `json:"eps"`
 	// Samples caps the number of test samples (0 = all).
@@ -60,6 +65,20 @@ type Spec struct {
 	Workers int `json:"workers,omitempty"`
 	// Batch caps the crafting/evaluation batch size (0 = derived).
 	Batch int `json:"batch,omitempty"`
+}
+
+// AttackParams are the suite-wide knobs of the configurable attack
+// families. Zero values keep the attack's own defaults, so a spec
+// only states what it changes.
+type AttackParams struct {
+	// Momentum overrides MI-FGSM's gradient decay mu (default 0.9).
+	Momentum float64 `json:"momentum,omitempty"`
+	// Restarts wraps PGD in that many random restarts (0 or 1 = run
+	// PGD plain).
+	Restarts int `json:"restarts,omitempty"`
+	// UAPIters overrides the UAP crafter's aggregated-gradient passes
+	// over the sample set (default 10).
+	UAPIters int `json:"uap_iters,omitempty"`
 }
 
 // Load reads and validates a Spec from a JSON file.
@@ -113,10 +132,17 @@ func (s *Spec) Validate() error {
 	if len(s.Attacks) == 0 {
 		return fmt.Errorf("spec: at least one attack is required")
 	}
+	seenAtk := make(map[string]bool, len(s.Attacks))
 	for _, name := range s.Attacks {
 		if attack.ByName(name) == nil {
 			return fmt.Errorf("spec: unknown attack %q (have %v)", name, attack.Names())
 		}
+		// Duplicate attacks would produce two grids that collide in
+		// Report.Grid and double-count in WriteCSV.
+		if seenAtk[name] {
+			return fmt.Errorf("spec: duplicate attack %q", name)
+		}
+		seenAtk[name] = true
 	}
 	mults := s.ExpandMultipliers()
 	if len(mults) == 0 {
@@ -130,10 +156,25 @@ func (s *Spec) Validate() error {
 	if len(s.Eps) == 0 {
 		return fmt.Errorf("spec: at least one eps budget is required")
 	}
+	seenEps := make(map[int64]float64, len(s.Eps))
 	for _, e := range s.Eps {
+		// NaN slips past `e < 0` and both NaN and ±Inf would poison
+		// the crafted-example cache's eps quantization, so budgets
+		// must be finite and non-negative.
+		if math.IsNaN(e) || math.IsInf(e, 0) {
+			return fmt.Errorf("spec: non-finite eps %g", e)
+		}
 		if e < 0 {
 			return fmt.Errorf("spec: negative eps %g", e)
 		}
+		// Budgets that quantise identically alias under Grid.At's
+		// round-off tolerance and the crafting cache: the second entry
+		// would waste a whole grid row on duplicated cells.
+		q := core.EpsKey(e)
+		if prev, ok := seenEps[q]; ok {
+			return fmt.Errorf("spec: duplicate eps %g (aliases %g)", e, prev)
+		}
+		seenEps[q] = e
 	}
 	if s.Samples < 0 {
 		return fmt.Errorf("spec: negative samples %d", s.Samples)
@@ -141,7 +182,41 @@ func (s *Spec) Validate() error {
 	if s.Workers < 0 || s.Batch < 0 {
 		return fmt.Errorf("spec: negative workers/batch")
 	}
+	if p := s.AttackParams; p != nil {
+		if math.IsNaN(p.Momentum) || math.IsInf(p.Momentum, 0) || p.Momentum < 0 || p.Momentum > 1 {
+			return fmt.Errorf("spec: attack_params.momentum %g outside [0, 1]", p.Momentum)
+		}
+		if p.Restarts < 0 {
+			return fmt.Errorf("spec: negative attack_params.restarts %d", p.Restarts)
+		}
+		if p.UAPIters < 0 {
+			return fmt.Errorf("spec: negative attack_params.uap_iters %d", p.UAPIters)
+		}
+		// A param that applies to no attack in the suite would be
+		// silently ignored — the report would look like a restarted or
+		// re-tuned evaluation without being one.
+		if p.Momentum > 0 && !s.anyAttack(func(a attack.Attack) bool { _, ok := a.(*attack.MIFGSM); return ok }) {
+			return fmt.Errorf("spec: attack_params.momentum set but no MIFGSM attack in the suite")
+		}
+		if p.Restarts > 1 && !s.anyAttack(func(a attack.Attack) bool { b, ok := a.(*attack.BIM); return ok && b.RandomStart() }) {
+			return fmt.Errorf("spec: attack_params.restarts set but no PGD attack in the suite")
+		}
+		if p.UAPIters > 0 && !s.anyAttack(func(a attack.Attack) bool { _, ok := a.(*attack.UAP); return ok }) {
+			return fmt.Errorf("spec: attack_params.uap_iters set but no UAP attack in the suite")
+		}
+	}
 	return nil
+}
+
+// anyAttack reports whether some attack in the suite matches pred.
+// Callers run after the attack-name loop, so ByName always resolves.
+func (s *Spec) anyAttack(pred func(attack.Attack) bool) bool {
+	for _, name := range s.Attacks {
+		if a := attack.ByName(name); a != nil && pred(a) {
+			return true
+		}
+	}
+	return false
 }
 
 // ExpandMultipliers resolves the "mnist"/"cifar" set aliases into
@@ -162,11 +237,29 @@ func (s *Spec) ExpandMultipliers() []string {
 	return out
 }
 
-// attackList resolves the attack names; Validate guarantees success.
+// attackList resolves the attack names and applies AttackParams to
+// the families they tune; Validate guarantees resolution succeeds.
 func (s *Spec) attackList() []attack.Attack {
 	atks := make([]attack.Attack, len(s.Attacks))
 	for i, name := range s.Attacks {
-		atks[i] = attack.ByName(name)
+		a := attack.ByName(name)
+		if p := s.AttackParams; p != nil {
+			switch t := a.(type) {
+			case *attack.MIFGSM:
+				if p.Momentum > 0 {
+					t.Mu = p.Momentum
+				}
+			case *attack.UAP:
+				if p.UAPIters > 0 {
+					t.Iters = p.UAPIters
+				}
+			case *attack.BIM:
+				if p.Restarts > 1 && t.RandomStart() {
+					a = attack.NewRestart(t, p.Restarts)
+				}
+			}
+		}
+		atks[i] = a
 	}
 	return atks
 }

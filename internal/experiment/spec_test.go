@@ -2,9 +2,12 @@ package experiment
 
 import (
 	"bytes"
+	"math"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/attack"
 )
 
 // specsDir locates the checked-in example specs relative to this
@@ -66,8 +69,23 @@ func TestSpecValidate(t *testing.T) {
 		{"unknown multiplier", func(s *Spec) { s.Multipliers = []string{"mul8u_NOPE"} }},
 		{"no eps", func(s *Spec) { s.Eps = nil }},
 		{"negative eps", func(s *Spec) { s.Eps = []float64{-0.1} }},
+		{"NaN eps", func(s *Spec) { s.Eps = []float64{math.NaN()} }},
+		{"+Inf eps", func(s *Spec) { s.Eps = []float64{math.Inf(1)} }},
+		{"-Inf eps", func(s *Spec) { s.Eps = []float64{math.Inf(-1)} }},
+		{"duplicate eps", func(s *Spec) { s.Eps = []float64{0, 0.1, 0.1} }},
+		{"aliasing eps", func(s *Spec) { s.Eps = []float64{0.3, 0.1 * 3} }},
+		{"duplicate attack", func(s *Spec) { s.Attacks = []string{"FGM-linf", "FGM-linf"} }},
 		{"negative samples", func(s *Spec) { s.Samples = -1 }},
 		{"negative workers", func(s *Spec) { s.Workers = -2 }},
+		{"momentum above 1", func(s *Spec) { s.AttackParams = &AttackParams{Momentum: 1.5} }},
+		{"NaN momentum", func(s *Spec) { s.AttackParams = &AttackParams{Momentum: math.NaN()} }},
+		{"negative restarts", func(s *Spec) { s.AttackParams = &AttackParams{Restarts: -1} }},
+		{"negative uap iters", func(s *Spec) { s.AttackParams = &AttackParams{UAPIters: -3} }},
+		// Params that apply to no attack in the suite would be silently
+		// ignored: FGM-linf is neither MIFGSM, PGD, nor UAP.
+		{"momentum without MIFGSM", func(s *Spec) { s.AttackParams = &AttackParams{Momentum: 0.9} }},
+		{"restarts without PGD", func(s *Spec) { s.AttackParams = &AttackParams{Restarts: 3} }},
+		{"uap iters without UAP", func(s *Spec) { s.AttackParams = &AttackParams{UAPIters: 5} }},
 	}
 	for _, tc := range cases {
 		s := validSpec()
@@ -104,5 +122,44 @@ func TestExpandMultipliers(t *testing.T) {
 func TestLoadMissingFile(t *testing.T) {
 	if _, err := Load(filepath.Join(specsDir, "does-not-exist.json")); err == nil {
 		t.Fatal("expected error for missing spec file")
+	}
+}
+
+// TestAttackParamsApplied: AttackParams must reach the resolved
+// attack instances — momentum onto MI-FGSM, iterations onto UAP, and
+// a restart wrapper (with its own cache identity) around PGD — while
+// leaving non-matching attacks and nil-params suites untouched.
+func TestAttackParamsApplied(t *testing.T) {
+	s := validSpec()
+	s.Attacks = []string{"MIFGSM-linf", "UAP-linf", "PGD-linf", "BIM-linf"}
+	s.AttackParams = &AttackParams{Momentum: 0.5, Restarts: 4, UAPIters: 3}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	atks := s.attackList()
+	if mi := atks[0].(*attack.MIFGSM); mi.Mu != 0.5 {
+		t.Fatalf("momentum not applied: mu=%g", mi.Mu)
+	}
+	if u := atks[1].(*attack.UAP); u.Iters != 3 {
+		t.Fatalf("uap_iters not applied: iters=%d", u.Iters)
+	}
+	r, ok := atks[2].(*attack.Restart)
+	if !ok || r.Restarts != 4 {
+		t.Fatalf("PGD not wrapped in restarts: %T", atks[2])
+	}
+	if r.Name() != "PGD-linf" {
+		t.Fatalf("restarted PGD renamed to %q", r.Name())
+	}
+	if _, wrapped := atks[3].(*attack.Restart); wrapped {
+		t.Fatal("restarts must not wrap plain BIM (no random start)")
+	}
+
+	s.AttackParams = nil
+	plain := s.attackList()
+	if mi := plain[0].(*attack.MIFGSM); mi.Mu != 0.9 {
+		t.Fatalf("nil params changed MIFGSM defaults: mu=%g", mi.Mu)
+	}
+	if _, wrapped := plain[2].(*attack.Restart); wrapped {
+		t.Fatal("nil params wrapped PGD in restarts")
 	}
 }

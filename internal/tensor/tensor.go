@@ -123,6 +123,15 @@ func (t *T) L2Norm() float64 {
 	return math.Sqrt(s)
 }
 
+// L1Norm returns the sum-abs norm of the flattened tensor.
+func (t *T) L1Norm() float64 {
+	var s float64
+	for _, v := range t.Data {
+		s += math.Abs(float64(v))
+	}
+	return s
+}
+
 // LinfNorm returns the max-abs norm of the flattened tensor.
 func (t *T) LinfNorm() float64 {
 	var m float64
