@@ -17,6 +17,14 @@
 //	axrobust -spec testdata/specs/fig4c.json -n 8
 //	axrobust -spec testdata/specs/universal.json                 # UAP/MI-FGSM suite
 //	axrobust -model lenet5-digits -attack PGD-linf -restarts 5
+//
+// With -server the suite is not run locally: the spec is submitted to
+// a running axserve instance, progress is streamed back over SSE, and
+// the report is fetched from the server — in csv/json mode as the
+// server's bytes verbatim, so remote output is byte-identical to the
+// server's. Identical specs deduplicate server-side onto one job:
+//
+//	axrobust -server http://localhost:8080 -spec testdata/specs/fig4.json -format csv
 package main
 
 import (
@@ -32,6 +40,7 @@ import (
 	"repro/internal/cli"
 	"repro/internal/experiment"
 	"repro/internal/modelzoo"
+	"repro/internal/service"
 )
 
 func main() {
@@ -50,12 +59,12 @@ func main() {
 	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 	format := flag.String("format", "text", "output format: text, json, csv")
 	progress := flag.Bool("progress", false, "stream per-cell progress to stderr")
+	server := flag.String("server", "", "submit to this axserve base URL instead of running locally")
 	flag.Parse()
 
-	switch *format {
-	case "text", "json", "csv":
-	default:
-		cli.Fail("axrobust", fmt.Errorf("unknown format %q (want text, json, or csv)", *format))
+	outFormat, err := cli.ParseFormat(*format)
+	if err != nil {
+		cli.Fail("axrobust", err)
 	}
 
 	eps, err := cli.ParseEps(*epsList)
@@ -119,14 +128,19 @@ func main() {
 		flag.VisitAll(applyFlag)
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if *server != "" {
+		runRemote(ctx, *server, spec, outFormat, *progress)
+		return
+	}
+
 	var engineOpts []experiment.Option
 	if *progress {
 		engineOpts = append(engineOpts, experiment.WithProgress(experiment.Progress(os.Stderr)))
 	}
 	eng := experiment.New(engineOpts...)
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
 
 	rep, err := eng.Run(ctx, spec)
 	if err != nil {
@@ -136,7 +150,7 @@ func main() {
 		cli.Fail("axrobust", err)
 	}
 
-	switch *format {
+	switch outFormat {
 	case "text":
 		fmt.Printf("%s: clean float accuracy %.1f%%\n", spec.Model, rep.CleanAcc)
 		fmt.Print(rep)
@@ -148,5 +162,51 @@ func main() {
 		if err := rep.WriteCSV(os.Stdout); err != nil {
 			cli.Fail("axrobust", err)
 		}
+	}
+}
+
+// runRemote submits the spec to an axserve instance (deduplicating
+// onto any identical job the server already has), streams progress
+// over SSE, and emits the finished report: csv/json as the server's
+// bytes verbatim — byte-identical to what any other client fetched —
+// and text rendered locally from the decoded report, matching a local
+// run's output.
+func runRemote(ctx context.Context, base string, spec *experiment.Spec, format string, progress bool) {
+	c := service.NewClient(base)
+	st, created, err := c.Submit(ctx, spec)
+	if err != nil {
+		cli.Fail("axrobust", err)
+	}
+	verb := "submitted as"
+	if !created {
+		verb = "deduplicated onto"
+	}
+	fmt.Fprintf(os.Stderr, "axrobust: %s job %s (%s)\n", verb, st.ID, st.State)
+	var onEvent func(experiment.Event)
+	if progress {
+		onEvent = experiment.Progress(os.Stderr)
+	}
+
+	fail := func(err error) {
+		if errors.Is(err, context.Canceled) {
+			cli.Fail("axrobust", fmt.Errorf("interrupted: %w", err))
+		}
+		cli.Fail("axrobust", err)
+	}
+	if format == "text" {
+		rep, err := c.Wait(ctx, st.ID, onEvent)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%s: clean float accuracy %.1f%%\n", rep.Spec.Model, rep.CleanAcc)
+		fmt.Print(rep)
+		return
+	}
+	raw, err := c.WaitRaw(ctx, st.ID, format, onEvent)
+	if err != nil {
+		fail(err)
+	}
+	if _, err := os.Stdout.Write(raw); err != nil {
+		fail(err)
 	}
 }

@@ -1,0 +1,92 @@
+// Command axserve serves robustness suites over HTTP: a job-oriented
+// façade (internal/service) over the experiment engine. Clients POST
+// experiment.Spec JSON to /v1/suites and get back a job ID derived
+// from the spec's canonical content hash — identical suites
+// deduplicate onto one job, however many clients submit them — then
+// follow progress over SSE and fetch the finished report as JSON or
+// CSV. All jobs share one crafted-batch/prediction cache, whose
+// hit/miss/eviction counters are scrapable at /metrics.
+//
+//	axserve -addr :8080 -jobs 2
+//
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST --data-binary @testdata/specs/fig4.json localhost:8080/v1/suites
+//	curl -s localhost:8080/v1/suites/<id>
+//	curl -N localhost:8080/v1/suites/<id>/events
+//	curl -s "localhost:8080/v1/suites/<id>/report?format=csv"
+//	curl -s -X DELETE localhost:8080/v1/suites/<id>
+//
+// On SIGTERM/SIGINT the server stops accepting work and drains:
+// running and queued jobs get -drain to finish before being cancelled.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/core"
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	jobs := flag.Int("jobs", 2, "suites running concurrently (each still parallelises internally)")
+	queue := flag.Int("queue", 64, "queued jobs accepted beyond the running ones")
+	cacheMB := flag.Int64("cache-mb", 0, "crafted-batch cache budget in MiB (0 = default 128)")
+	retain := flag.Int("retain", 0, "finished jobs retained for dedup/replay (0 = default 1024)")
+	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown drain timeout")
+	flag.Parse()
+
+	cfg := core.CacheConfig{}
+	if *cacheMB < 0 {
+		cli.Fail("axserve", fmt.Errorf("negative -cache-mb %d", *cacheMB))
+	}
+	if *cacheMB > 0 {
+		// CraftBudget counts float32 elements, not bytes.
+		cfg.CraftBudget = *cacheMB << 20 / 4
+	}
+	m := service.NewManager(service.Config{
+		Workers:    *jobs,
+		QueueDepth: *queue,
+		Cache:      core.NewCache(cfg),
+		MaxJobs:    *retain,
+	})
+	srv := &http.Server{Addr: *addr, Handler: service.NewHandler(m)}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("axserve: listening on %s (%d concurrent jobs)", *addr, *jobs)
+
+	select {
+	case err := <-errCh:
+		// The listener died on its own (bad address, port in use).
+		cli.Fail("axserve", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("axserve: draining (up to %s)", *drain)
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Drain the job pool first: when jobs finish (or the deadline
+	// force-cancels them), their SSE streams close, which lets the
+	// HTTP shutdown below complete instead of hanging on subscribers.
+	if err := m.Close(dctx); err != nil {
+		log.Printf("axserve: forced drain: %v", err)
+	}
+	if err := srv.Shutdown(dctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		srv.Close()
+	}
+	log.Printf("axserve: bye")
+}

@@ -48,6 +48,20 @@ func ParseList(s string) []string {
 	return out
 }
 
+// ParseFormat validates a report output-format flag against the
+// formats every suite surface understands — the text renderer plus
+// the two machine encodings the server's report endpoint serves.
+// Empty selects "text" so tools agree on the default.
+func ParseFormat(s string) (string, error) {
+	switch s {
+	case "":
+		return "text", nil
+	case "text", "json", "csv":
+		return s, nil
+	}
+	return "", fmt.Errorf("unknown format %q (want text, json, or csv)", s)
+}
+
 // Fail prints "tool: err" to stderr and exits non-zero — the shared
 // fatal-error path of every cmd tool.
 func Fail(tool string, err error) {

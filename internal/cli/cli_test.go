@@ -35,3 +35,15 @@ func TestParseList(t *testing.T) {
 		t.Fatalf("ParseList = %v", got)
 	}
 }
+
+func TestParseFormat(t *testing.T) {
+	for in, want := range map[string]string{"": "text", "text": "text", "json": "json", "csv": "csv"} {
+		got, err := ParseFormat(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseFormat(%q) = (%q, %v), want %q", in, got, err, want)
+		}
+	}
+	if _, err := ParseFormat("yaml"); err == nil {
+		t.Fatal("unknown formats must be rejected")
+	}
+}

@@ -51,6 +51,61 @@ type Cache struct {
 	predCount   atomic.Int64
 	craftBudget int64
 	predMax     int64
+
+	// Lifetime counters behind Stats. They are monotone: Clear and the
+	// budget evictions drop entries but never reset the counters, so
+	// long-lived services can export them as Prometheus-style counters.
+	craftHits      atomic.Int64
+	craftMisses    atomic.Int64
+	predHits       atomic.Int64
+	predMisses     atomic.Int64
+	craftEvictions atomic.Int64
+	predEvictions  atomic.Int64
+}
+
+// CacheStats is a point-in-time snapshot of a cache's counters — the
+// surface a metrics endpoint scrapes and cache tests assert directly
+// (instead of inferring hits from event streams or entry counts).
+// Hit/miss/eviction counters are lifetime-monotone; entry and byte
+// gauges reflect what is retained right now.
+type CacheStats struct {
+	// CraftHits / CraftMisses count CraftedBatch lookups, including the
+	// attack-independent eps=0 clean row.
+	CraftHits   int64
+	CraftMisses int64
+	// PredHits / PredMisses count Predictions lookups.
+	PredHits   int64
+	PredMisses int64
+	// CraftEvictions / PredEvictions count automatic epoch resets
+	// (budget or entry-cap trips) — explicit Clear calls are not
+	// evictions. A craft-budget trip wipes the prediction memos too
+	// (Clear drops both sides), so it counts a PredEviction whenever
+	// predictions were actually retained.
+	CraftEvictions int64
+	PredEvictions  int64
+	// CraftEntries / PredEntries are the currently retained memo counts.
+	CraftEntries int64
+	PredEntries  int64
+	// CraftBytes is the memory currently retained by crafted batches
+	// (float32 payload, excluding keys and map overhead).
+	CraftBytes int64
+}
+
+// Stats snapshots the cache's counters. Safe for concurrent use; the
+// snapshot is internally consistent only field by field (counters are
+// read independently), which is all a metrics scrape needs.
+func (c *Cache) Stats() CacheStats {
+	return CacheStats{
+		CraftHits:      c.craftHits.Load(),
+		CraftMisses:    c.craftMisses.Load(),
+		PredHits:       c.predHits.Load(),
+		PredMisses:     c.predMisses.Load(),
+		CraftEvictions: c.craftEvictions.Load(),
+		PredEvictions:  c.predEvictions.Load(),
+		CraftEntries:   int64(c.CraftedLen()),
+		PredEntries:    c.predCount.Load(),
+		CraftBytes:     c.craftSize.Load() * 4, // float32 elements
+	}
 }
 
 // NewCache returns an empty cache with the given retention bounds.
@@ -122,6 +177,12 @@ func (c *Cache) CraftedLen() int {
 // the single stored batch and the size accounting counts it once.
 func (c *Cache) storeCrafted(key craftKey, b *tensor.T) *tensor.T {
 	if c.craftSize.Load()+int64(b.Len()) > c.craftBudget {
+		c.craftEvictions.Add(1)
+		// Clear wipes the prediction memos alongside the batches;
+		// account for that reset so scrapers can attribute the drop.
+		if c.predCount.Load() > 0 {
+			c.predEvictions.Add(1)
+		}
 		c.Clear()
 	}
 	if prev, loaded := c.craft.LoadOrStore(key, b); loaded {
@@ -136,6 +197,7 @@ func (c *Cache) storeCrafted(key craftKey, b *tensor.T) *tensor.T {
 // crafted batches are expensive and stay until their own budget trips.
 func (c *Cache) storePreds(key predKey, preds []int) {
 	if c.predCount.Load() >= c.predMax {
+		c.predEvictions.Add(1)
 		c.clearPreds()
 	}
 	if _, loaded := c.pred.LoadOrStore(key, preds); !loaded {
@@ -166,8 +228,10 @@ func (c *Cache) CraftedBatch(ctx context.Context, src *nn.Network, test *dataset
 		attack: attack.ConfigKey(atk), epsQ: epsQ, seed: opts.Seed,
 	}
 	if v, ok := c.craft.Load(key); ok {
+		c.craftHits.Add(1)
 		return v.(*tensor.T), true, nil
 	}
+	c.craftMisses.Add(1)
 	if err := ctx.Err(); err != nil {
 		return nil, false, err
 	}
@@ -217,8 +281,10 @@ func (c *Cache) CraftedBatch(ctx context.Context, src *nn.Network, test *dataset
 func (c *Cache) cleanBatch(test *dataset.Set) (*tensor.T, bool, error) {
 	key := craftKey{first: test.X[0], n: test.Len()}
 	if v, ok := c.craft.Load(key); ok {
+		c.craftHits.Add(1)
 		return v.(*tensor.T), true, nil
 	}
+	c.craftMisses.Add(1)
 	return c.storeCrafted(key, tensor.Stack(test.X)), false, nil
 }
 
@@ -232,8 +298,10 @@ func (c *Cache) Predictions(ctx context.Context, m attack.Model, adv *tensor.T, 
 		key.modelFP = f.WeightsFingerprint()
 	}
 	if v, ok := c.pred.Load(key); ok {
+		c.predHits.Add(1)
 		return v.([]int), true, nil
 	}
+	c.predMisses.Add(1)
 	if err := ctx.Err(); err != nil {
 		return nil, false, err
 	}

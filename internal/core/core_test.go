@@ -170,10 +170,24 @@ func TestCraftedCacheReuse(t *testing.T) {
 	if filled != 2 {
 		t.Fatalf("cache holds %d batches after a 2-eps grid, want 2", filled)
 	}
+	st := c.Stats()
+	if st.CraftHits != 0 || st.CraftMisses != 2 {
+		t.Fatalf("first sweep stats = %d hits / %d misses, want 0/2", st.CraftHits, st.CraftMisses)
+	}
+	if st.CraftEntries != 2 || st.CraftBytes <= 0 {
+		t.Fatalf("stats gauges = %d entries / %d bytes, want 2 entries and positive bytes", st.CraftEntries, st.CraftBytes)
+	}
 	// A second identical sweep must reuse every batch and agree exactly.
 	b := RobustnessGrid(f.net, victims, f.test, atk, []float64{0, 0.1}, opts)
 	if c.CraftedLen() != filled {
 		t.Fatalf("identical sweep re-crafted: %d batches", c.CraftedLen())
+	}
+	st = c.Stats()
+	if st.CraftHits != 2 || st.CraftMisses != 2 {
+		t.Fatalf("repeated sweep stats = %d hits / %d misses, want 2/2", st.CraftHits, st.CraftMisses)
+	}
+	if st.PredHits != 2 || st.PredMisses != 2 {
+		t.Fatalf("prediction stats = %d hits / %d misses, want 2/2", st.PredHits, st.PredMisses)
 	}
 	for ei := range a.Acc {
 		if a.Acc[ei][0] != b.Acc[ei][0] {
@@ -183,6 +197,13 @@ func TestCraftedCacheReuse(t *testing.T) {
 	c.Clear()
 	if c.CraftedLen() != 0 {
 		t.Fatal("Clear left entries behind")
+	}
+	st = c.Stats()
+	if st.CraftEntries != 0 || st.PredEntries != 0 || st.CraftBytes != 0 {
+		t.Fatalf("Clear left gauges behind: %+v", st)
+	}
+	if st.CraftHits != 2 || st.CraftEvictions != 0 {
+		t.Fatalf("explicit Clear must keep lifetime counters and count no eviction: %+v", st)
 	}
 }
 
@@ -301,6 +322,9 @@ func TestCraftedCacheBudgetEviction(t *testing.T) {
 	RobustnessGrid(f.net, victims, f.test, atk, []float64{0.2}, opts)
 	if n := c.CraftedLen(); n != 1 {
 		t.Fatalf("cache holds %d entries over budget, want 1 after epoch eviction", n)
+	}
+	if st := c.Stats(); st.CraftEvictions != 1 || st.PredEvictions != 1 {
+		t.Fatalf("budget trip recorded %d craft / %d pred evictions, want 1/1 (Clear wipes both sides)", st.CraftEvictions, st.PredEvictions)
 	}
 }
 

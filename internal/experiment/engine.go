@@ -65,6 +65,9 @@ func (e *Engine) Cache() *core.Cache { return e.cache }
 
 func (e *Engine) emit(ev Event) {
 	if e.onEvent != nil {
+		if ev.Time.IsZero() {
+			ev.Time = time.Now()
+		}
 		e.onEvent(ev)
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"reflect"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -286,6 +287,64 @@ func TestEngineUniversalSuite(t *testing.T) {
 			!reflect.DeepEqual(rep.Grids[i].Acc, rep3.Grids[i].Acc) {
 			t.Fatalf("%s: universal suite not bit-identical across runs", rep.Grids[i].Attack)
 		}
+	}
+}
+
+// TestEngineConcurrentRunsSharedCache runs two engines over one cache
+// from concurrent goroutines — the exact pattern the service worker
+// pool uses (one engine per job, WithCache on the manager's shared
+// cache). Under -race this pins that concurrent Runs racing on the
+// same cells are safe, converge on one memoised batch, and produce
+// the same numbers as an isolated run.
+func TestEngineConcurrentRunsSharedCache(t *testing.T) {
+	src := fixtureSource(t)
+	ref, err := New(WithModelSource(src)).Run(context.Background(), tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	shared := core.NewCache(core.CacheConfig{})
+	const runs = 4
+	reports := make([]*Report, runs)
+	errs := make([]error, runs)
+	var wg sync.WaitGroup
+	for i := 0; i < runs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// A fresh engine per goroutine, all sharing one cache — jobs
+			// in the service never share engine structs, only the cache.
+			eng := New(WithModelSource(src), WithCache(shared))
+			spec := tinySpec()
+			// Two distinct specs interleaved: half the runs flip the
+			// attack order, so the goroutines race on shared cells rather
+			// than marching in lockstep.
+			if i%2 == 1 {
+				spec.Attacks = []string{"PGD-linf", "FGM-linf"}
+			}
+			reports[i], errs[i] = eng.Run(context.Background(), spec)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < runs; i++ {
+		if errs[i] != nil {
+			t.Fatalf("concurrent run %d failed: %v", i, errs[i])
+		}
+		for _, name := range []string{"FGM-linf", "PGD-linf"} {
+			got, ok := reports[i].Grid(name)
+			if !ok {
+				t.Fatalf("run %d missing grid %s", i, name)
+			}
+			want, _ := ref.Grid(name)
+			if !reflect.DeepEqual(got.Acc, want.Acc) {
+				t.Fatalf("run %d: %s grid diverged under the shared cache:\ngot  %v\nwant %v", i, name, got.Acc, want.Acc)
+			}
+		}
+	}
+	// The shared cache holds exactly one entry per distinct cell (clean
+	// batch + 2 attacks at eps=0.1), however the four runs raced.
+	if n := shared.CraftedLen(); n != 3 {
+		t.Fatalf("shared cache holds %d crafted batches after concurrent runs, want 3", n)
 	}
 }
 

@@ -1,8 +1,10 @@
 package experiment
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestProgressRendersCells(t *testing.T) {
@@ -20,5 +22,77 @@ func TestProgressRendersCells(t *testing.T) {
 	}
 	if strings.Contains(out, "cache-miss") {
 		t.Fatalf("cache events must not spam the progress stream: %q", out)
+	}
+}
+
+// TestEventJSONStable pins the SSE wire schema: string kinds, the
+// documented field names, elapsed in milliseconds, and a lossless
+// round trip — remote consumers parse these bytes.
+func TestEventJSONStable(t *testing.T) {
+	ev := Event{
+		Kind:     CellFinished,
+		Time:     time.Date(2026, 7, 1, 12, 0, 0, 0, time.UTC),
+		Job:      "ab12cd34",
+		Suite:    "fig4",
+		Attack:   "BIM-linf",
+		Eps:      0.1,
+		Cell:     3,
+		Cells:    40,
+		CacheHit: true,
+		Elapsed:  1500 * time.Millisecond,
+	}
+	data, err := json.Marshal(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`"kind":"cell-finished"`, `"job":"ab12cd34"`, `"suite":"fig4"`,
+		`"attack":"BIM-linf"`, `"eps":0.1`, `"cell":3`, `"cells":40`,
+		`"cache_hit":true`, `"elapsed_ms":1500`, `"time":"2026-07-01T12:00:00Z"`,
+	} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("event JSON missing %s:\n%s", want, data)
+		}
+	}
+	var back Event
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != ev {
+		t.Fatalf("event round trip lost data:\n in %+v\nout %+v", ev, back)
+	}
+
+	// Suite brackets carry the error; zero time and elapsed stay off
+	// the wire.
+	fail := Event{Kind: SuiteFinished, Job: "ab12cd34", Err: "context canceled"}
+	data, err = json.Marshal(fail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"error":"context canceled"`) {
+		t.Fatalf("failure event JSON missing error:\n%s", data)
+	}
+	if strings.Contains(string(data), "elapsed_ms") || strings.Contains(string(data), `"time"`) {
+		t.Fatalf("zero elapsed/time must be omitted:\n%s", data)
+	}
+	if _, err := json.Marshal(Event{Kind: Kind(99)}); err == nil {
+		t.Fatal("unknown kinds must not marshal silently")
+	}
+	var bad Event
+	if err := json.Unmarshal([]byte(`{"kind":"no-such-kind"}`), &bad); err == nil {
+		t.Fatal("unknown kind names must not unmarshal silently")
+	}
+}
+
+// TestEventSuiteRendering covers the suite-bracket progress lines the
+// service streams around each job.
+func TestEventSuiteRendering(t *testing.T) {
+	s := Event{Kind: SuiteStarted, Suite: "fig4", Cells: 40}.String()
+	if !strings.Contains(s, "suite fig4 started") {
+		t.Fatalf("SuiteStarted rendering = %q", s)
+	}
+	s = Event{Kind: SuiteFinished, Job: "ab12cd34", Err: "boom"}.String()
+	if !strings.Contains(s, "ab12cd34") || !strings.Contains(s, "boom") {
+		t.Fatalf("SuiteFinished failure rendering = %q", s)
 	}
 }

@@ -62,6 +62,23 @@ func (r *Report) WriteJSON(w io.Writer) error {
 	return enc.Encode(r)
 }
 
+// ReadReport decodes a Report previously encoded with WriteJSON — the
+// counterpart remote clients use to consume server output without
+// re-parsing by hand. Unknown fields are tolerated so older clients
+// keep working against newer servers; the grids must decode to a
+// non-empty suite, since an empty report is never a valid WriteJSON
+// product.
+func ReadReport(rd io.Reader) (*Report, error) {
+	r := &Report{}
+	if err := json.NewDecoder(rd).Decode(r); err != nil {
+		return nil, fmt.Errorf("experiment: decoding report: %w", err)
+	}
+	if len(r.Grids) == 0 {
+		return nil, fmt.Errorf("experiment: decoded report has no grids")
+	}
+	return r, nil
+}
+
 // WriteCSV encodes the suite as one long-format row per (attack, eps,
 // victim) cell — the layout plotting scripts and spreadsheets want.
 func (r *Report) WriteCSV(w io.Writer) error {

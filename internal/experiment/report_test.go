@@ -3,11 +3,18 @@ package experiment
 import (
 	"bytes"
 	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"repro/internal/core"
 )
+
+// updateGolden regenerates the checked-in wire-format fixtures from
+// the in-memory sample report: go test ./internal/experiment -update
+var updateGolden = flag.Bool("update", false, "rewrite golden fixtures")
 
 func sampleReport() *Report {
 	return &Report{
@@ -92,6 +99,57 @@ func TestReportJSONRoundTrip(t *testing.T) {
 	}
 	if len(back.Cells) != 4 || !back.Cells[2].CacheHit {
 		t.Fatalf("round-trip lost cell timings: %+v", back.Cells)
+	}
+}
+
+// TestReportGoldenRoundTrip pins the report wire format: the
+// checked-in fixture must decode through ReadReport and re-encode
+// byte for byte through WriteJSON, so remote clients (ReadReport) and
+// the server's report endpoint (WriteJSON) can never drift apart
+// silently.
+func TestReportGoldenRoundTrip(t *testing.T) {
+	golden := filepath.Join("testdata", "report_golden.json")
+	if *updateGolden {
+		var buf bytes.Buffer
+		if err := sampleReport().WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ReadReport(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Spec.Model != "lenet5-digits" || rep.CleanAcc != 97.5 || len(rep.Grids) != 2 {
+		t.Fatalf("golden report decoded wrong: %+v", rep)
+	}
+	if loss, atk, _, _ := rep.MaxAccuracyLoss(); loss != 70 || atk != "PGD-linf" {
+		t.Fatalf("golden report lost grid data: loss=%v attack=%q", loss, atk)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), data) {
+		t.Fatalf("golden fixture does not round-trip byte for byte:\n--- file ---\n%s--- re-encoded ---\n%s", data, buf.Bytes())
+	}
+}
+
+func TestReadReportRejectsGarbage(t *testing.T) {
+	if _, err := ReadReport(strings.NewReader("{")); err == nil {
+		t.Fatal("truncated JSON must fail")
+	}
+	if _, err := ReadReport(strings.NewReader(`{"spec":{},"clean_acc":1,"grids":[]}`)); err == nil {
+		t.Fatal("a report with no grids must fail")
 	}
 }
 

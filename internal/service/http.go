@@ -1,0 +1,219 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/experiment"
+)
+
+// SubmitResponse is the body of POST /v1/suites.
+type SubmitResponse struct {
+	// Created reports whether this submission enqueued new work; false
+	// means the spec deduplicated onto an existing job.
+	Created bool      `json:"created"`
+	Job     JobStatus `json:"job"`
+}
+
+// errorResponse is the JSON body of every non-2xx response.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// maxSpecBytes bounds POST bodies; the largest checked-in spec is
+// under 1 KB, so 1 MB leaves room for any plausible suite.
+const maxSpecBytes = 1 << 20
+
+// NewHandler wraps the manager in the service's HTTP/JSON façade:
+//
+//	POST   /v1/suites               submit a Spec (201 created, 200 deduplicated)
+//	GET    /v1/suites               list jobs
+//	GET    /v1/suites/{id}          job status
+//	GET    /v1/suites/{id}/report   finished report, ?format=json|csv
+//	GET    /v1/suites/{id}/events   replay + live progress as SSE
+//	DELETE /v1/suites/{id}          cancel
+//	GET    /healthz                 liveness
+//	GET    /metrics                 Prometheus-style cache/job counters
+func NewHandler(m *Manager) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/suites", func(w http.ResponseWriter, r *http.Request) {
+		body := http.MaxBytesReader(w, r.Body, maxSpecBytes)
+		dec := json.NewDecoder(body)
+		dec.DisallowUnknownFields()
+		spec := &experiment.Spec{}
+		if err := dec.Decode(spec); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding spec: %w", err))
+			return
+		}
+		id, created, err := m.Submit(spec)
+		if err != nil {
+			writeError(w, submitStatus(err), err)
+			return
+		}
+		st, err := m.Status(id)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		w.Header().Set("Location", "/v1/suites/"+id)
+		code := http.StatusOK
+		if created {
+			code = http.StatusCreated
+		}
+		writeJSON(w, code, SubmitResponse{Created: created, Job: st})
+	})
+
+	mux.HandleFunc("GET /v1/suites", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.List())
+	})
+
+	mux.HandleFunc("GET /v1/suites/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := m.Status(r.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+
+	mux.HandleFunc("GET /v1/suites/{id}/report", func(w http.ResponseWriter, r *http.Request) {
+		format := r.URL.Query().Get("format")
+		if format == "" {
+			format = "json"
+		}
+		if format != "json" && format != "csv" {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("unknown format %q (want json or csv)", format))
+			return
+		}
+		rep, err := m.Result(r.PathValue("id"))
+		if err != nil {
+			switch {
+			case errors.Is(err, ErrNotFound):
+				writeError(w, http.StatusNotFound, err)
+			case errors.Is(err, ErrNotFinished):
+				writeError(w, http.StatusConflict, err)
+			default: // failed or cancelled: the result is permanently gone
+				writeError(w, http.StatusGone, err)
+			}
+			return
+		}
+		if format == "csv" {
+			w.Header().Set("Content-Type", "text/csv")
+			if err := rep.WriteCSV(w); err != nil {
+				return // headers are out; nothing recoverable
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		rep.WriteJSON(w)
+	})
+
+	mux.HandleFunc("GET /v1/suites/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		events, err := m.Events(r.Context(), r.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+		w.WriteHeader(http.StatusOK)
+		rc := http.NewResponseController(w)
+		rc.Flush()
+		for ev := range events {
+			data, err := json.Marshal(ev)
+			if err != nil {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "data: %s\n\n", data); err != nil {
+				return // subscriber went away; Events observes r.Context()
+			}
+			rc.Flush()
+		}
+	})
+
+	mux.HandleFunc("DELETE /v1/suites/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := m.Cancel(r.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "jobs": len(m.List())})
+	})
+
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		writeMetrics(w, m)
+	})
+
+	return mux
+}
+
+func submitStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	default: // spec validation
+		return http.StatusBadRequest
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorResponse{Error: err.Error()})
+}
+
+// writeMetrics renders the shared cache's counters (the
+// core.Cache.Stats surface) and per-state job counts in the Prometheus
+// text format, so any scraper can watch dedup effectiveness and queue
+// health without a client library.
+func writeMetrics(w http.ResponseWriter, m *Manager) {
+	st := m.Cache().Stats()
+	counters := []struct {
+		name, help string
+		value      int64
+	}{
+		{"axserve_cache_craft_hits_total", "Crafted-batch cache hits.", st.CraftHits},
+		{"axserve_cache_craft_misses_total", "Crafted-batch cache misses.", st.CraftMisses},
+		{"axserve_cache_pred_hits_total", "Victim-prediction cache hits.", st.PredHits},
+		{"axserve_cache_pred_misses_total", "Victim-prediction cache misses.", st.PredMisses},
+		{"axserve_cache_craft_evictions_total", "Crafted-batch epoch evictions.", st.CraftEvictions},
+		{"axserve_cache_pred_evictions_total", "Prediction epoch evictions.", st.PredEvictions},
+	}
+	for _, c := range counters {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.value)
+	}
+	gauges := []struct {
+		name, help string
+		value      int64
+	}{
+		{"axserve_cache_craft_entries", "Crafted batches currently retained.", st.CraftEntries},
+		{"axserve_cache_pred_entries", "Prediction memos currently retained.", st.PredEntries},
+		{"axserve_cache_craft_bytes", "Bytes retained by crafted batches.", st.CraftBytes},
+	}
+	for _, g := range gauges {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", g.name, g.help, g.name, g.name, g.value)
+	}
+	byState := map[State]int{}
+	for _, js := range m.List() {
+		byState[js.State]++
+	}
+	fmt.Fprintf(w, "# HELP axserve_jobs Jobs by state.\n# TYPE axserve_jobs gauge\n")
+	for _, s := range []State{StateQueued, StateRunning, StateDone, StateFailed, StateCancelled} {
+		fmt.Fprintf(w, "axserve_jobs{state=%q} %d\n", s, byState[s])
+	}
+}
