@@ -17,6 +17,8 @@
 //	axrobust -spec testdata/specs/fig4c.json -n 8
 //	axrobust -spec testdata/specs/universal.json                 # UAP/MI-FGSM suite
 //	axrobust -model lenet5-digits -attack PGD-linf -restarts 5
+//	axrobust -spec testdata/specs/defense.json -n 8              # defended suite
+//	axrobust -model lenet5-digits -defense ensemble -defense-pool mnist -eot-samples 4
 //
 // With -server the suite is not run locally: the spec is submitted to
 // a running axserve instance, progress is streamed back over SSE, and
@@ -54,6 +56,13 @@ func main() {
 	momentum := flag.Float64("momentum", 0, "MI-FGSM momentum decay mu (0 = attack default)")
 	restarts := flag.Int("restarts", 0, "PGD random restarts (0 or 1 = plain PGD)")
 	uapIters := flag.Int("uap-iters", 0, "UAP passes over the sample set (0 = attack default)")
+	defKind := flag.String("defense", "", `defenses to evaluate: "advtrain", "ensemble", or both comma-separated`)
+	defAttack := flag.String("defense-attack", "", "adversarial-training crafting attack (e.g. PGD-linf)")
+	defEps := flag.Float64("defense-eps", 0, "adversarial-training crafting budget")
+	defRatio := flag.Float64("defense-ratio", 0, "fraction of samples adversarially replaced per epoch (0 = default 0.5)")
+	defEpochs := flag.Int("defense-epochs", 0, "adversarial fine-tuning epochs (0 = default 1)")
+	defPool := flag.String("defense-pool", "", `ensemble multiplier pool: "mnist", "cifar", or comma-separated names`)
+	eotSamples := flag.Int("eot-samples", 0, "configuration draws per EOT step (0 = no adaptive grid)")
 	bits := flag.Uint("bits", 8, "quantization level (Qlevel)")
 	approxDense := flag.Bool("approx-dense", false, "route dense-layer products through the approximate multiplier")
 	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
@@ -84,6 +93,15 @@ func main() {
 			spec.AttackParams = &experiment.AttackParams{}
 		}
 		return spec.AttackParams
+	}
+	// Same materialise-on-demand rule for the defense block: flags only
+	// create it once some defense knob is set, or override fields of a
+	// spec file that already carries one.
+	dspec := func() *experiment.DefenseSpec {
+		if spec.Defense == nil {
+			spec.Defense = &experiment.DefenseSpec{}
+		}
+		return spec.Defense
 	}
 	applyFlag := func(f *flag.Flag) {
 		switch f.Name {
@@ -116,6 +134,34 @@ func main() {
 		case "uap-iters":
 			if *uapIters != 0 || spec.AttackParams != nil {
 				param().UAPIters = *uapIters
+			}
+		case "defense":
+			if *defKind != "" || spec.Defense != nil {
+				dspec().Kind = *defKind
+			}
+		case "defense-attack":
+			if *defAttack != "" || spec.Defense != nil {
+				dspec().Attack = *defAttack
+			}
+		case "defense-eps":
+			if *defEps != 0 || spec.Defense != nil {
+				dspec().Eps = *defEps
+			}
+		case "defense-ratio":
+			if *defRatio != 0 || spec.Defense != nil {
+				dspec().Ratio = *defRatio
+			}
+		case "defense-epochs":
+			if *defEpochs != 0 || spec.Defense != nil {
+				dspec().Epochs = *defEpochs
+			}
+		case "defense-pool":
+			if *defPool != "" || spec.Defense != nil {
+				dspec().Pool = cli.ParseList(*defPool)
+			}
+		case "eot-samples":
+			if *eotSamples != 0 || spec.Defense != nil {
+				dspec().EOTSamples = *eotSamples
 			}
 		}
 	}

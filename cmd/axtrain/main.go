@@ -3,25 +3,50 @@
 // Subsequent experiment runs — tests, benches, the other commands —
 // load the cached weights instead of retraining.
 //
+// With -harden it trains the adversarially fine-tuned variant of each
+// named model instead (defense.AdvTrain), registered and persisted
+// under its derived id — "<base>+advtrain:<attack>:…" — which specs
+// and axserve jobs then load like any zoo model. Derived ids can also
+// be passed directly as arguments.
+//
 // Usage:
 //
-//	axtrain            # train every model that is not cached yet
+//	axtrain                                  # train every model that is not cached yet
 //	axtrain lenet5-digits alexnet-objects
+//	axtrain -harden PGD-linf -harden-eps 0.1 lenet5-digits   # 1-epoch PGD-AT variant
+//	axtrain 'lenet5-digits+advtrain:PGD-linf:eps=0.1:ratio=0.5:epochs=1:seed=7'
 package main
 
 import (
+	"flag"
 	"fmt"
-	"os"
 	"time"
 
 	"repro/internal/cli"
+	"repro/internal/defense"
 	"repro/internal/modelzoo"
 )
 
 func main() {
-	names := os.Args[1:]
+	harden := flag.String("harden", "", "adversarially fine-tune each named model, crafting with this attack (e.g. PGD-linf)")
+	hardenEps := flag.Float64("harden-eps", 0.1, "advtrain crafting budget")
+	ratio := flag.Float64("ratio", 0, "fraction of samples adversarially replaced per epoch (0 = default 0.5)")
+	epochs := flag.Int("epochs", 0, "advtrain fine-tuning epochs (0 = default 1)")
+	seed := flag.Int64("seed", 7, "advtrain seed")
+	flag.Parse()
+
+	names := flag.Args()
 	if len(names) == 0 {
 		names = modelzoo.Names()
+	}
+	if *harden != "" {
+		cfg := defense.AdvTrainConfig{Attack: *harden, Eps: *hardenEps, Ratio: *ratio, Epochs: *epochs, Seed: *seed}
+		if err := cfg.Validate(); err != nil {
+			cli.Fail("axtrain", err)
+		}
+		for i, n := range names {
+			names[i] = defense.HardenedID(n, cfg)
+		}
 	}
 	for _, n := range names {
 		start := time.Now()

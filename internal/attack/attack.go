@@ -25,6 +25,7 @@
 package attack
 
 import (
+	"fmt"
 	"math/rand"
 
 	"repro/internal/tensor"
@@ -157,14 +158,24 @@ func Names() []string {
 	return names
 }
 
-// ByName returns the attack whose Name matches, or nil.
-func ByName(name string) Attack {
+// Find returns the attack whose Name matches, or the canonical
+// unknown-attack error naming the valid set. Every surface that
+// resolves attack names — flag parsing, spec validation, defense
+// configuration — reports the same message through it.
+func Find(name string) (Attack, error) {
 	for _, a := range All() {
 		if a.Name() == name {
-			return a
+			return a, nil
 		}
 	}
-	return nil
+	return nil, fmt.Errorf("unknown attack %q (have: %v)", name, Names())
+}
+
+// ByName returns the attack whose Name matches, or nil. Callers that
+// need the error message should use Find.
+func ByName(name string) Attack {
+	a, _ := Find(name)
+	return a
 }
 
 // Configurable is implemented by attacks with exported tunable

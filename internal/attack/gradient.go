@@ -126,11 +126,18 @@ func (a *BIM) Perturb(m Model, x *tensor.T, label int, eps float64, rng *rand.Ra
 	return adv
 }
 
-// randomInit applies the PGD random start to one sample in place:
-// uniform in the eps-box for linf, a gaussian direction with uniform
-// radius for l2, then projection and box clamping.
+// randomInit applies the PGD random start to one sample in place.
 func (a *BIM) randomInit(adv, x *tensor.T, eps float64, rng *rand.Rand) {
-	if a.norm == Linf {
+	randomInitBall(a.norm, adv, x, eps, rng)
+}
+
+// randomInitBall applies a random start inside the eps-ball to one
+// sample in place: uniform in the eps-box for linf, a gaussian
+// direction with uniform radius for l2, then projection and box
+// clamping. PGD and EOT share it, with an identical draw order, so
+// their iterates start from the same distribution.
+func randomInitBall(norm Norm, adv, x *tensor.T, eps float64, rng *rand.Rand) {
+	if norm == Linf {
 		for i := range adv.Data {
 			adv.Data[i] += float32((rng.Float64()*2 - 1) * eps)
 		}
@@ -138,7 +145,7 @@ func (a *BIM) randomInit(adv, x *tensor.T, eps float64, rng *rand.Rand) {
 		d := gaussianDir(x.Shape, rng)
 		stepL2(adv, d, rng.Float64()*eps)
 	}
-	project(a.norm, adv, x, eps)
+	project(norm, adv, x, eps)
 	adv.Clamp(0, 1)
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"math/rand"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -293,9 +294,14 @@ func (c *Cache) cleanBatch(test *dataset.Set) (*tensor.T, bool, error) {
 // batch). hit reports whether the predictions came from the cache;
 // cancellation behaves as in CraftedBatch.
 func (c *Cache) Predictions(ctx context.Context, m attack.Model, adv *tensor.T, opts Options) (preds []int, hit bool, err error) {
-	key := predKey{model: m, batch: adv}
-	if f, ok := m.(fingerprinter); ok {
-		key.modelFP = f.WeightsFingerprint()
+	key := predKey{batch: adv}
+	if mk, ok := m.(ModelKeyer); ok {
+		key.key = mk.ModelKey()
+	} else {
+		key.model = m
+		if f, ok := m.(fingerprinter); ok {
+			key.modelFP = f.WeightsFingerprint()
+		}
 	}
 	if v, ok := c.pred.Load(key); ok {
 		c.predHits.Add(1)
@@ -325,12 +331,27 @@ func (c *Cache) Predictions(ctx context.Context, m attack.Model, adv *tensor.T, 
 }
 
 // runChunked fans fn over [0, n) in opts-derived chunks across
-// opts-derived workers, stopping at the next chunk boundary once ctx
-// is cancelled. It returns after every worker has exited, so callers
-// never leak goroutines into cancelled sweeps.
+// opts-derived workers.
 func runChunked(ctx context.Context, n int, opts Options, fn func(lo, hi int)) {
-	chunk := opts.batchSize(n)
-	workers := opts.workers()
+	RunChunked(ctx, n, opts.batchSize(n), opts.workers(), fn)
+}
+
+// RunChunked fans fn over [0, n) in chunk-sized ranges across workers,
+// stopping at the next chunk boundary once ctx is cancelled (returned
+// as the error). Non-positive chunk and workers select 1 and
+// GOMAXPROCS (the repo-wide "0 = default" convention), so an
+// un-defaulted config can never silently run zero workers. It returns
+// only after every worker has exited, so callers never leak
+// goroutines into cancelled sweeps. Exported for the other chunked
+// crafting loops in the tree (defense.AdvTrain) so the
+// fan-out/cancellation semantics live in one place.
+func RunChunked(ctx context.Context, n, chunk, workers int, fn func(lo, hi int)) error {
+	if chunk < 1 {
+		chunk = 1
+	}
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if max := (n + chunk - 1) / chunk; workers > max {
 		workers = max
 	}
@@ -364,4 +385,5 @@ func runChunked(ctx context.Context, n int, opts Options, fn func(lo, hi int)) {
 		}()
 	}
 	wg.Wait()
+	return ctx.Err()
 }

@@ -226,10 +226,15 @@ type craftKey struct {
 // Models and batches are pointer identities (compiled axnn networks
 // are immutable; batches are cache-retained tensors); mutable models
 // that expose a weights fingerprint (float nn networks) additionally
-// carry it, so retraining in place invalidates their memos.
+// carry it, so retraining in place invalidates their memos. Models
+// with a declared config identity (ModelKeyer) are keyed by that
+// string instead of the pointer, so rebuilding an identical victim —
+// a fresh defense ensemble per engine run — still hits the memo and
+// the key does not pin the dead instance.
 type predKey struct {
 	model   attack.Model
 	modelFP uint64
+	key     string
 	batch   *tensor.T
 }
 
@@ -237,6 +242,15 @@ type predKey struct {
 // cache entries must track weight changes.
 type fingerprinter interface {
 	WeightsFingerprint() uint64
+}
+
+// ModelKeyer is implemented by victims whose behaviour is fully
+// determined by a configuration string (defense.Ensemble: pool,
+// source-weights fingerprint, quantization, draw seed). Their
+// prediction memos are keyed by that string, surviving across engine
+// runs and service jobs that rebuild the victim instance.
+type ModelKeyer interface {
+	ModelKey() string
 }
 
 // EpsKey quantises a budget to the same tolerance Grid.At uses for

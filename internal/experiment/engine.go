@@ -8,6 +8,7 @@ import (
 	"repro/internal/attack"
 	"repro/internal/axnn"
 	"repro/internal/core"
+	"repro/internal/defense"
 	"repro/internal/modelzoo"
 )
 
@@ -19,7 +20,7 @@ import (
 type Engine struct {
 	cache    *core.Cache
 	onEvent  func(Event)
-	getModel func(string) (*modelzoo.Model, error)
+	getModel func(context.Context, string) (*modelzoo.Model, error)
 }
 
 // Option configures an Engine.
@@ -39,10 +40,12 @@ func WithProgress(fn func(Event)) Option {
 	return func(e *Engine) { e.onEvent = fn }
 }
 
-// WithModelSource replaces the model resolver (default modelzoo.Get)
-// — primarily for tests, which inject small purpose-trained fixtures
-// instead of the full zoo models.
-func WithModelSource(fn func(string) (*modelzoo.Model, error)) Option {
+// WithModelSource replaces the model resolver (default
+// modelzoo.GetCtx) — primarily for tests, which inject small
+// purpose-trained fixtures instead of the full zoo models. The
+// context is Run's: sources that train on demand (hardened derived
+// models) observe cancellation through it.
+func WithModelSource(fn func(context.Context, string) (*modelzoo.Model, error)) Option {
 	return func(e *Engine) { e.getModel = fn }
 }
 
@@ -50,7 +53,7 @@ func WithModelSource(fn func(string) (*modelzoo.Model, error)) Option {
 func New(opts ...Option) *Engine {
 	e := &Engine{
 		cache:    core.NewCache(core.CacheConfig{}),
-		getModel: modelzoo.Get,
+		getModel: modelzoo.GetCtx,
 	}
 	for _, o := range opts {
 		o(e)
@@ -88,13 +91,13 @@ func (e *Engine) Run(ctx context.Context, spec *Spec) (*Report, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	src, err := e.getModel(spec.Model)
+	src, err := e.getModel(ctx, spec.Model)
 	if err != nil {
 		return nil, err
 	}
 	vic := src
 	if spec.victimModel() != spec.Model {
-		if vic, err = e.getModel(spec.victimModel()); err != nil {
+		if vic, err = e.getModel(ctx, spec.victimModel()); err != nil {
 			return nil, err
 		}
 	}
@@ -113,6 +116,36 @@ func (e *Engine) Run(ctx context.Context, spec *Spec) (*Report, error) {
 		Batch:   spec.Batch,
 		Cache:   e.cache,
 	}
+
+	atks := spec.attackList()
+	// The defense block appends its victims after the plain multiplier
+	// columns, and the adaptive EOT grid after the declared attacks.
+	if d := spec.Defense; d != nil {
+		if d.Has(DefenseAdvTrain) {
+			// Defenses defend the victim: the hardened model derives
+			// from the victim-side base (relevant in transfer suites).
+			// Resolving it through the engine's model source means
+			// axserve jobs train (and the zoo persists) hardened
+			// weights on first use, and tests inject fixtures.
+			hid := defense.HardenedID(spec.victimModel(), d.AdvTrainConfig(spec.Seed))
+			hm, err := e.getModel(ctx, hid)
+			if err != nil {
+				return nil, err
+			}
+			victims = append(victims, core.NewFloatVictim(d.AdvTrainVictimName(), hm.Net))
+		}
+		if d.Has(DefenseEnsemble) {
+			ens, err := defense.BuildEnsemble(vic.Net, vic.Test, d.ExpandPool(), axnn.Options{Bits: spec.Bits, ApproxDense: spec.ApproxDense}, spec.Seed)
+			if err != nil {
+				return nil, err
+			}
+			victims = append(victims, core.NewVictim(ens.Name(), ens))
+			if d.EOTSamples > 0 {
+				atks = append(atks, attack.NewEOT(ens, attack.Linf, d.EOTSamples))
+			}
+		}
+	}
+
 	names := make([]string, len(victims))
 	models := make([]attack.Model, len(victims))
 	for i, v := range victims {
@@ -120,13 +153,12 @@ func (e *Engine) Run(ctx context.Context, spec *Spec) (*Report, error) {
 		models[i] = v.Factory()
 	}
 
-	atks := spec.attackList()
 	rep := &Report{
 		Spec:     *spec,
 		CleanAcc: src.CleanAcc,
 		Grids:    make([]*core.Grid, 0, len(atks)),
 	}
-	cells := len(atks) * len(spec.Eps)
+	cells := spec.CellCount()
 	cell := 0
 	for _, atk := range atks {
 		g := &core.Grid{

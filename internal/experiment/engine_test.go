@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/defense"
 	"repro/internal/models"
 	"repro/internal/modelzoo"
 	"repro/internal/train"
@@ -20,10 +21,16 @@ import (
 // fixtureZoo trains two small FFNNs once and serves them like the
 // model zoo would, so engine tests never touch the real trained-model
 // cache.
-var fixtureZoo map[string]*modelzoo.Model
+var (
+	fixtureZoo map[string]*modelzoo.Model
+	// fixtureMu guards fixtureZoo across every source closure — the
+	// map is package-shared, so the lock must be too.
+	fixtureMu sync.Mutex
+)
 
-func fixtureSource(t *testing.T) func(string) (*modelzoo.Model, error) {
+func fixtureSource(t *testing.T) func(context.Context, string) (*modelzoo.Model, error) {
 	t.Helper()
+	fixtureMu.Lock()
 	if fixtureZoo == nil {
 		fixtureZoo = map[string]*modelzoo.Model{}
 		for i, name := range []string{"tiny-a", "tiny-b"} {
@@ -32,15 +39,37 @@ func fixtureSource(t *testing.T) func(string) (*modelzoo.Model, error) {
 			net := models.FFNN(28*28, 10, 73+int64(i))
 			net.Name = name
 			train.Fit(net, tr, train.Config{Epochs: 2, Batch: 32, LR: 0.05, Momentum: 0.9, Seed: 3})
-			fixtureZoo[name] = &modelzoo.Model{Net: net, Test: test, CleanAcc: 100 * train.Accuracy(net, test, 0)}
+			fixtureZoo[name] = &modelzoo.Model{Net: net, Train: tr, Test: test, CleanAcc: 100 * train.Accuracy(net, test, 0)}
 		}
 	}
-	return func(name string) (*modelzoo.Model, error) {
-		m, ok := fixtureZoo[name]
-		if !ok {
-			return nil, fmt.Errorf("fixture zoo: unknown model %q", name)
+	fixtureMu.Unlock()
+	return func(ctx context.Context, name string) (*modelzoo.Model, error) {
+		fixtureMu.Lock()
+		defer fixtureMu.Unlock()
+		if m, ok := fixtureZoo[name]; ok {
+			return m, nil
 		}
-		return m, nil
+		// Hardened derived ids resolve against the fixture zoo the way
+		// the real zoo's defense deriver resolves against entries —
+		// trained on demand, memoised, single worker for bit stability.
+		if defense.IsHardenedID(name) {
+			base, cfg, err := defense.ParseHardenedID(name)
+			if err != nil {
+				return nil, err
+			}
+			bm, ok := fixtureZoo[base]
+			if !ok {
+				return nil, fmt.Errorf("fixture zoo: unknown base model %q", base)
+			}
+			cfg.Workers = 1
+			m, err := defense.Harden(ctx, bm, cfg)
+			if err != nil {
+				return nil, err
+			}
+			fixtureZoo[name] = m
+			return m, nil
+		}
+		return nil, fmt.Errorf("fixture zoo: unknown model %q", name)
 	}
 }
 
@@ -71,7 +100,7 @@ func TestEngineMatchesRobustnessGrid(t *testing.T) {
 	if len(rep.Grids) != len(spec.Attacks) {
 		t.Fatalf("suite produced %d grids, want %d", len(rep.Grids), len(spec.Attacks))
 	}
-	m, _ := src("tiny-a")
+	m, _ := src(context.Background(), "tiny-a")
 	victims, err := core.BuildAxVictims(m.Net, m.Test, spec.ExpandMultipliers(), axnnOptions(spec))
 	if err != nil {
 		t.Fatal(err)
@@ -209,8 +238,8 @@ func TestEngineTransferSuite(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, _ := src("tiny-a")
-	b, _ := src("tiny-b")
+	a, _ := src(context.Background(), "tiny-a")
+	b, _ := src(context.Background(), "tiny-b")
 	victims, err := core.BuildAxVictims(b.Net, b.Test, spec.ExpandMultipliers(), axnnOptions(spec))
 	if err != nil {
 		t.Fatal(err)
@@ -356,5 +385,246 @@ func TestEngineRejectsDuplicateAttacks(t *testing.T) {
 	spec.Attacks = []string{"FGM-linf", "FGM-linf"}
 	if _, err := New(WithModelSource(fixtureSource(t))).Run(context.Background(), spec); err == nil {
 		t.Fatal("duplicate attacks must fail the run")
+	}
+}
+
+func defenseSpec() *Spec {
+	return &Spec{
+		Name:  "defense-test",
+		Model: "tiny-a",
+		// The fixture FFNNs have no conv layers, so the approximate
+		// multipliers only bite through the dense path.
+		ApproxDense: true,
+		Multipliers: []string{"mul8u_1JFF", "mul8u_JV3"},
+		Attacks:     []string{"PGD-linf", "FGM-linf"},
+		Eps:         []float64{0, 0.05, 0.1},
+		Samples:     60,
+		Seed:        5,
+		Defense: &DefenseSpec{
+			Kind:       "advtrain,ensemble",
+			Attack:     "PGD-linf",
+			Eps:        0.1,
+			Ratio:      0.5,
+			Epochs:     1,
+			Pool:       []string{"mul8u_1JFF", "mul8u_JV3", "mul8u_L40"},
+			EOTSamples: 4,
+		},
+	}
+}
+
+// TestEngineDefenseSuite is the acceptance criterion for the defense
+// subsystem: one spec runs an adversarially trained model AND a
+// randomized-approximation ensemble as victim rows of the same
+// Report, the adaptive EOT grid rides alongside the declared attacks,
+// and EOT measurably lowers the ensemble's apparent robustness
+// compared with plain PGD on the same seed — the honest-evaluation
+// property (everything is seeded, so these comparisons are exact, not
+// statistical).
+func TestEngineDefenseSuite(t *testing.T) {
+	spec := defenseSpec()
+	var events []Event
+	eng := New(WithModelSource(fixtureSource(t)), WithProgress(func(ev Event) { events = append(events, ev) }))
+	rep, err := eng.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Grids) != 3 {
+		t.Fatalf("defended suite produced %d grids, want attacks + EOT = 3", len(rep.Grids))
+	}
+	eot, ok := rep.Grid("EOT-PGD-linf")
+	if !ok {
+		t.Fatal("report is missing the adaptive EOT grid")
+	}
+	pgd, _ := rep.Grid("PGD-linf")
+	advName := spec.Defense.AdvTrainVictimName()
+	for _, g := range rep.Grids {
+		for _, name := range []string{advName, "ensemble[3]"} {
+			if _, ok := g.Column(name); !ok {
+				t.Fatalf("grid %s is missing defense victim %q (victims %v)", g.Attack, name, g.Victims)
+			}
+		}
+	}
+
+	// The adversarially trained victim must out-rank every undefended
+	// victim at the training budget under the attack it trained
+	// against — otherwise the defense did nothing.
+	const trainEps = 0.1
+	advRob, _ := pgd.At(trainEps, advName)
+	for _, name := range spec.ExpandMultipliers() {
+		if r, _ := pgd.At(trainEps, name); advRob <= r {
+			t.Fatalf("advtrain robustness %.1f%% not above undefended %s (%.1f%%) at eps=%g", advRob, name, r, trainEps)
+		}
+	}
+
+	// Honest evaluation: the ensemble's EOT robustness is never above
+	// its plain-PGD robustness, and strictly below at some budget —
+	// plain PGD overstates the randomized defense.
+	ensPGD, _ := pgd.Column("ensemble[3]")
+	ensEOT, _ := eot.Column("ensemble[3]")
+	strictly := false
+	for ei, e := range pgd.Eps {
+		if e == 0 {
+			if ensEOT[ei] != ensPGD[ei] {
+				t.Fatal("clean row must be identical across grids")
+			}
+			continue
+		}
+		if ensEOT[ei] > ensPGD[ei] {
+			t.Fatalf("EOT raised apparent robustness at eps=%g: %.1f%% > %.1f%%", e, ensEOT[ei], ensPGD[ei])
+		}
+		if ensEOT[ei] < ensPGD[ei] {
+			strictly = true
+		}
+	}
+	if !strictly {
+		t.Fatalf("EOT did not measurably lower the ensemble's robustness anywhere: PGD %v vs EOT %v", ensPGD, ensEOT)
+	}
+
+	// The progress plan covers attacks + EOT, matching Spec.CellCount.
+	finished := 0
+	for _, ev := range events {
+		if ev.Kind == CellFinished {
+			finished++
+			if ev.Cells != spec.CellCount() {
+				t.Fatalf("event advertises %d cells, want CellCount %d", ev.Cells, spec.CellCount())
+			}
+		}
+	}
+	if finished != spec.CellCount() {
+		t.Fatalf("finished %d cells, want %d", finished, spec.CellCount())
+	}
+
+	// Bit-identical across a fresh engine with the same seed: the
+	// defense stack (hardening, ensemble draws, EOT sampling) inherits
+	// the repo's determinism contract.
+	rep2, err := New(WithModelSource(fixtureSource(t))).Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rep.Grids {
+		if !reflect.DeepEqual(rep.Grids[i].Acc, rep2.Grids[i].Acc) {
+			t.Fatalf("%s: defended suite not bit-identical across engines", rep.Grids[i].Attack)
+		}
+	}
+}
+
+// TestEngineDefenseCacheIsolation is the cross-run cache-collision
+// test: defended and undefended suites sharing one engine (and so one
+// cache) must neither pollute each other's cells nor share the
+// adaptive grid's crafted batches with plain PGD's.
+func TestEngineDefenseCacheIsolation(t *testing.T) {
+	src := fixtureSource(t)
+	undefended := defenseSpec()
+	undefended.Defense = nil
+
+	ref, err := New(WithModelSource(src)).Run(context.Background(), undefended)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var events []Event
+	shared := New(WithModelSource(src), WithProgress(func(ev Event) { events = append(events, ev) }))
+	defended, err := shared.Run(context.Background(), defenseSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The EOT grid's nonzero cells must be crafted fresh — a cache
+	// collision with the PGD cells (same source, eps, seed, sample
+	// count) would serve PGD's batches under the EOT name.
+	for _, ev := range events {
+		if ev.Kind == CellFinished && ev.Attack == "EOT-PGD-linf" && ev.Eps != 0 && ev.CacheHit {
+			t.Fatalf("EOT cell at eps=%g served from another attack's cache entry", ev.Eps)
+		}
+	}
+	eot, _ := defended.Grid("EOT-PGD-linf")
+	pgd, _ := defended.Grid("PGD-linf")
+	if reflect.DeepEqual(eot.Acc, pgd.Acc) {
+		t.Fatal("EOT grid identical to PGD grid — crafted batches collided")
+	}
+
+	// Re-running the undefended suite on the same engine after the
+	// defended one reproduces the reference exactly: defense entries
+	// never leak into undefended cells.
+	events = nil
+	again, err := shared.Run(context.Background(), undefended)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref.Grids {
+		if !reflect.DeepEqual(again.Grids[i].Acc, ref.Grids[i].Acc) {
+			t.Fatalf("%s: undefended grid changed after a defended run shared the cache", ref.Grids[i].Attack)
+		}
+	}
+	// ... and the shared (source, attack, eps, seed) cells deduplicate
+	// across the defended and undefended runs — that reuse is correct
+	// because the crafted batch does not depend on the victim list.
+	for _, ev := range events {
+		if ev.Kind == CellFinished && !ev.CacheHit {
+			t.Fatalf("undefended re-run re-crafted %s eps=%g despite the shared cache", ev.Attack, ev.Eps)
+		}
+	}
+}
+
+// TestEngineDefenseUnknownPieces: defense blocks that reference
+// unresolvable pieces fail the run with an error.
+func TestEngineDefenseUnknownPieces(t *testing.T) {
+	spec := defenseSpec()
+	spec.Defense.Pool = []string{"mul8u_NOPE"}
+	if _, err := New(WithModelSource(fixtureSource(t))).Run(context.Background(), spec); err == nil {
+		t.Fatal("unknown ensemble pool multiplier must fail the run")
+	}
+	spec = defenseSpec()
+	spec.Defense.Attack = "DeepFool"
+	if _, err := New(WithModelSource(fixtureSource(t))).Run(context.Background(), spec); err == nil {
+		t.Fatal("unknown advtrain attack must fail the run")
+	}
+}
+
+// TestEngineDefenseCancellationDuringHardening: a cancelled run
+// context must reach hardened-model training (the model source is
+// ctx-aware), not let it run to completion — the axserve
+// cancel-while-training path.
+func TestEngineDefenseCancellationDuringHardening(t *testing.T) {
+	spec := defenseSpec()
+	// A config no other test uses, so the fixture zoo cannot serve a
+	// memoised hardened model and Run must actually train.
+	spec.Defense.Eps = 0.07
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, err := New(WithModelSource(fixtureSource(t))).Run(ctx, spec)
+	if rep != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled defended Run returned (%v, %v), want (nil, context.Canceled)", rep, err)
+	}
+}
+
+// TestEngineEnsemblePredictionsMemoisedAcrossRuns: a fresh Ensemble is
+// built per Run, but its behaviour is fully determined by its config
+// key, so the second Run's ensemble column must be served from the
+// prediction memo (core.ModelKeyer) instead of re-scoring 9 members
+// per cell.
+func TestEngineEnsemblePredictionsMemoisedAcrossRuns(t *testing.T) {
+	spec := defenseSpec()
+	spec.Defense.Kind = "ensemble" // no advtrain: keep the run light
+	spec.Defense.Attack, spec.Defense.Eps, spec.Defense.Ratio, spec.Defense.Epochs = "", 0, 0, 0
+	eng := New(WithModelSource(fixtureSource(t)))
+	rep1, err := eng.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := eng.Cache().Stats()
+	rep2, err := eng.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := eng.Cache().Stats()
+	// Every cell's ensemble prediction hits; the rebuilt multiplier
+	// victims (fresh pointers) may miss, but the ensemble must not.
+	if hits := s2.PredHits - s1.PredHits; hits < int64(spec.CellCount()) {
+		t.Fatalf("second run scored only %d prediction hits, want >= %d (ensemble column memoised)", hits, spec.CellCount())
+	}
+	for i := range rep1.Grids {
+		if !reflect.DeepEqual(rep1.Grids[i].Acc, rep2.Grids[i].Acc) {
+			t.Fatalf("%s: memoised ensemble run diverged", rep1.Grids[i].Attack)
+		}
 	}
 }

@@ -19,10 +19,12 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"strings"
 
 	"repro/internal/attack"
 	"repro/internal/axmult"
 	"repro/internal/core"
+	"repro/internal/defense"
 )
 
 // Spec declares one evaluation suite. The zero values of optional
@@ -55,6 +57,12 @@ type Spec struct {
 	// AttackParams tunes the configurable attack families for the
 	// whole suite; nil keeps every attack's defaults.
 	AttackParams *AttackParams `json:"attack_params,omitempty"`
+	// Defense declares deliberate defenses evaluated alongside the
+	// plain victims: an adversarially trained model and/or a
+	// randomized-approximation ensemble appear as extra victim columns,
+	// and EOTSamples adds the adaptive EOT grid. nil runs the classic
+	// undefended suite.
+	Defense *DefenseSpec `json:"defense,omitempty"`
 	// Eps are the perturbation budgets of every sweep.
 	Eps []float64 `json:"eps"`
 	// Samples caps the number of test samples (0 = all).
@@ -79,6 +87,130 @@ type AttackParams struct {
 	// UAPIters overrides the UAP crafter's aggregated-gradient passes
 	// over the sample set (default 10).
 	UAPIters int `json:"uap_iters,omitempty"`
+}
+
+// Defense kinds a DefenseSpec can enable.
+const (
+	DefenseAdvTrain = "advtrain"
+	DefenseEnsemble = "ensemble"
+)
+
+// DefenseSpec declares the suite's defenses (the spec's "defense"
+// block). Kind selects which are active; the remaining fields
+// configure them. Defended and undefended runs of the same model never
+// share crafted-example cache entries for the adaptive grid, and the
+// hardened model is a distinct network, so their rows never collide.
+type DefenseSpec struct {
+	// Kind enables defenses: "advtrain", "ensemble", or both as a
+	// comma-separated list.
+	Kind string `json:"kind"`
+	// Attack names the adversarial-training crafting attack (kind
+	// advtrain), e.g. "PGD-linf". Any attack name is accepted;
+	// set-level attacks (UAP) select universal adversarial training.
+	Attack string `json:"attack,omitempty"`
+	// Eps is the adversarial-training crafting budget.
+	Eps float64 `json:"eps,omitempty"`
+	// Ratio is the fraction of training samples adversarially replaced
+	// per epoch (0 = defense default 0.5).
+	Ratio float64 `json:"ratio,omitempty"`
+	// Epochs is the number of adversarial fine-tuning epochs (0 =
+	// defense default 1).
+	Epochs int `json:"epochs,omitempty"`
+	// Pool are the ensemble's multipliers (kind ensemble); the
+	// "mnist"/"cifar" aliases expand like Multipliers.
+	Pool []string `json:"pool,omitempty"`
+	// EOTSamples > 0 adds the adaptive EOT-PGD-linf grid: PGD over the
+	// mean of that many configuration draws per step, the honest
+	// evaluation of the randomized ensemble (kind ensemble only).
+	EOTSamples int `json:"eot_samples,omitempty"`
+}
+
+// kinds splits the comma-separated Kind field into trimmed tokens.
+func (d *DefenseSpec) kinds() []string {
+	var out []string
+	for _, k := range strings.Split(d.Kind, ",") {
+		if k = strings.TrimSpace(k); k != "" {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// Has reports whether the given defense kind is enabled.
+func (d *DefenseSpec) Has(kind string) bool {
+	for _, k := range d.kinds() {
+		if k == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// ExpandPool resolves the ensemble pool's set aliases, like
+// Spec.ExpandMultipliers.
+func (d *DefenseSpec) ExpandPool() []string { return expandMultiplierAliases(d.Pool) }
+
+// AdvTrainConfig maps the block onto the defense package's config;
+// the suite's seed drives selection, crafting, and SGD shuffles.
+func (d *DefenseSpec) AdvTrainConfig(seed int64) defense.AdvTrainConfig {
+	return defense.AdvTrainConfig{
+		Attack: d.Attack,
+		Eps:    d.Eps,
+		Ratio:  d.Ratio,
+		Epochs: d.Epochs,
+		Seed:   seed,
+	}
+}
+
+// AdvTrainVictimName is the hardened model's victim column label.
+func (d *DefenseSpec) AdvTrainVictimName() string {
+	return fmt.Sprintf("advtrain[%s@%g]", d.Attack, d.Eps)
+}
+
+// validate checks the defense block's internal consistency; the
+// "spec: defense:" prefix is applied by Spec.Validate's caller
+// context.
+func (d *DefenseSpec) validate() error {
+	kinds := d.kinds()
+	if len(kinds) == 0 {
+		return fmt.Errorf("spec: defense.kind is required (%s, %s, or both)", DefenseAdvTrain, DefenseEnsemble)
+	}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		if k != DefenseAdvTrain && k != DefenseEnsemble {
+			return fmt.Errorf("spec: unknown defense kind %q (have: %s, %s)", k, DefenseAdvTrain, DefenseEnsemble)
+		}
+		if seen[k] {
+			return fmt.Errorf("spec: duplicate defense kind %q", k)
+		}
+		seen[k] = true
+	}
+	if d.Has(DefenseAdvTrain) {
+		if err := d.AdvTrainConfig(0).Validate(); err != nil {
+			return fmt.Errorf("spec: %w", err)
+		}
+	} else if d.Attack != "" || d.Eps != 0 || d.Ratio != 0 || d.Epochs != 0 {
+		// Config that silently applies to nothing would make the report
+		// look adversarially trained without being so.
+		return fmt.Errorf("spec: defense attack/eps/ratio/epochs set without the %q kind", DefenseAdvTrain)
+	}
+	if d.Has(DefenseEnsemble) {
+		pool := d.ExpandPool()
+		if len(pool) == 0 {
+			return fmt.Errorf("spec: defense.pool is required for the %q kind", DefenseEnsemble)
+		}
+		for _, m := range pool {
+			if _, err := axmult.Lookup(m); err != nil {
+				return fmt.Errorf("spec: defense: %w", err)
+			}
+		}
+		if d.EOTSamples < 0 {
+			return fmt.Errorf("spec: negative defense.eot_samples %d", d.EOTSamples)
+		}
+	} else if len(d.Pool) != 0 || d.EOTSamples != 0 {
+		return fmt.Errorf("spec: defense pool/eot_samples set without the %q kind", DefenseEnsemble)
+	}
+	return nil
 }
 
 // Load reads and validates a Spec from a JSON file.
@@ -134,8 +266,8 @@ func (s *Spec) Validate() error {
 	}
 	seenAtk := make(map[string]bool, len(s.Attacks))
 	for _, name := range s.Attacks {
-		if attack.ByName(name) == nil {
-			return fmt.Errorf("spec: unknown attack %q (have %v)", name, attack.Names())
+		if _, err := attack.Find(name); err != nil {
+			return fmt.Errorf("spec: %w", err)
 		}
 		// Duplicate attacks would produce two grids that collide in
 		// Report.Grid and double-count in WriteCSV.
@@ -178,6 +310,11 @@ func (s *Spec) Validate() error {
 	}
 	if s.Samples < 0 {
 		return fmt.Errorf("spec: negative samples %d", s.Samples)
+	}
+	if s.Defense != nil {
+		if err := s.Defense.validate(); err != nil {
+			return err
+		}
 	}
 	if s.Workers < 0 || s.Batch < 0 {
 		return fmt.Errorf("spec: negative workers/batch")
@@ -223,8 +360,14 @@ func (s *Spec) anyAttack(pred func(attack.Attack) bool) bool {
 // concrete multiplier names, preserving order and leaving explicit
 // names untouched.
 func (s *Spec) ExpandMultipliers() []string {
+	return expandMultiplierAliases(s.Multipliers)
+}
+
+// expandMultiplierAliases implements the alias expansion shared by the
+// victim multiplier list and the defense ensemble pool.
+func expandMultiplierAliases(mults []string) []string {
 	var out []string
-	for _, m := range s.Multipliers {
+	for _, m := range mults {
 		switch m {
 		case "mnist":
 			out = append(out, axmult.MNISTSet()...)
@@ -235,6 +378,18 @@ func (s *Spec) ExpandMultipliers() []string {
 		}
 	}
 	return out
+}
+
+// CellCount returns the number of (grid, eps) cells Run sweeps: one
+// grid per attack, plus the adaptive EOT grid when the defense block
+// enables it. The service sizes job progress with it, so it must
+// agree with the engine's plan.
+func (s *Spec) CellCount() int {
+	n := len(s.Attacks)
+	if s.Defense != nil && s.Defense.EOTSamples > 0 {
+		n++
+	}
+	return n * len(s.Eps)
 }
 
 // attackList resolves the attack names and applies AttackParams to

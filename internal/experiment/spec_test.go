@@ -86,6 +86,28 @@ func TestSpecValidate(t *testing.T) {
 		{"momentum without MIFGSM", func(s *Spec) { s.AttackParams = &AttackParams{Momentum: 0.9} }},
 		{"restarts without PGD", func(s *Spec) { s.AttackParams = &AttackParams{Restarts: 3} }},
 		{"uap iters without UAP", func(s *Spec) { s.AttackParams = &AttackParams{UAPIters: 5} }},
+		{"defense without kind", func(s *Spec) { s.Defense = &DefenseSpec{Attack: "PGD-linf", Eps: 0.1} }},
+		{"unknown defense kind", func(s *Spec) { s.Defense = &DefenseSpec{Kind: "distillation"} }},
+		{"duplicate defense kind", func(s *Spec) {
+			s.Defense = &DefenseSpec{Kind: "advtrain,advtrain", Attack: "PGD-linf", Eps: 0.1}
+		}},
+		{"advtrain without attack", func(s *Spec) { s.Defense = &DefenseSpec{Kind: "advtrain", Eps: 0.1} }},
+		{"advtrain unknown attack", func(s *Spec) { s.Defense = &DefenseSpec{Kind: "advtrain", Attack: "DeepFool", Eps: 0.1} }},
+		{"advtrain zero eps", func(s *Spec) { s.Defense = &DefenseSpec{Kind: "advtrain", Attack: "PGD-linf"} }},
+		{"advtrain ratio above 1", func(s *Spec) {
+			s.Defense = &DefenseSpec{Kind: "advtrain", Attack: "PGD-linf", Eps: 0.1, Ratio: 1.5}
+		}},
+		{"advtrain config without kind", func(s *Spec) {
+			s.Defense = &DefenseSpec{Kind: "ensemble", Pool: []string{"mul8u_1JFF"}, Attack: "PGD-linf", Eps: 0.1}
+		}},
+		{"ensemble without pool", func(s *Spec) { s.Defense = &DefenseSpec{Kind: "ensemble"} }},
+		{"ensemble unknown pool", func(s *Spec) { s.Defense = &DefenseSpec{Kind: "ensemble", Pool: []string{"mul8u_NOPE"}} }},
+		{"negative eot samples", func(s *Spec) {
+			s.Defense = &DefenseSpec{Kind: "ensemble", Pool: []string{"mul8u_1JFF"}, EOTSamples: -1}
+		}},
+		{"eot without ensemble", func(s *Spec) {
+			s.Defense = &DefenseSpec{Kind: "advtrain", Attack: "PGD-linf", Eps: 0.1, EOTSamples: 4}
+		}},
 	}
 	for _, tc := range cases {
 		s := validSpec()
@@ -93,6 +115,40 @@ func TestSpecValidate(t *testing.T) {
 		if err := s.Validate(); err == nil {
 			t.Errorf("%s: Validate accepted an invalid spec", tc.name)
 		}
+	}
+}
+
+// TestSpecDefenseValidAndCellCount: well-formed defense blocks
+// validate, the alias pool expands, and CellCount accounts for the
+// adaptive grid — the figure the service sizes job progress with.
+func TestSpecDefenseValidAndCellCount(t *testing.T) {
+	s := validSpec()
+	if s.CellCount() != len(s.Attacks)*len(s.Eps) {
+		t.Fatalf("undefended CellCount %d, want %d", s.CellCount(), len(s.Attacks)*len(s.Eps))
+	}
+	s.Defense = &DefenseSpec{
+		Kind:       "advtrain,ensemble",
+		Attack:     "UAP-linf", // set-level attacks are legal AT crafters
+		Eps:        0.1,
+		Pool:       []string{"mnist"},
+		EOTSamples: 3,
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("valid defended spec rejected: %v", err)
+	}
+	if got := s.Defense.ExpandPool(); len(got) != 9 {
+		t.Fatalf("mnist pool alias expanded to %v", got)
+	}
+	if want := (len(s.Attacks) + 1) * len(s.Eps); s.CellCount() != want {
+		t.Fatalf("defended CellCount %d, want %d (EOT grid included)", s.CellCount(), want)
+	}
+	// EOT disabled: no extra grid.
+	s.Defense.EOTSamples = 0
+	if s.CellCount() != len(s.Attacks)*len(s.Eps) {
+		t.Fatal("EOT-less defense must not add a grid")
+	}
+	if !s.Defense.Has(DefenseAdvTrain) || !s.Defense.Has(DefenseEnsemble) || s.Defense.Has("x") {
+		t.Fatal("kind membership misreported")
 	}
 }
 

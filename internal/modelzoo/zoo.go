@@ -4,15 +4,28 @@
 // objects, AlexNet on digits) needed by the Table II transferability
 // study. Weights are persisted under testdata/models so test and bench
 // runs after the first are fast; in-process results are memoised too.
+//
+// Beyond the fixed entries, the zoo resolves *derived* model
+// identifiers through registered derivers: a package that can build a
+// model from another model's name — internal/defense derives
+// adversarially trained variants like
+// "lenet5-digits+advtrain:PGD-linf:…" — registers a matcher and a
+// builder, and every downstream consumer (specs, the experiment
+// engine, axtrain, axserve jobs) loads the derived model through the
+// same Get call, with the same on-disk weight cache. Get is
+// single-flight per name and re-entrant: a deriver may Get its base
+// model while its own build is in flight.
 package modelzoo
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io/fs"
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"sync"
 
 	"repro/internal/dataset"
@@ -24,11 +37,37 @@ import (
 
 // Model bundles a trained network with its train/test data.
 type Model struct {
-	Net   *nn.Network
+	Net *nn.Network
+	// Train is the materialised training set, when one already exists
+	// (cold training produces it as a side effect; hand-built fixtures
+	// set it directly). Consumers that need training data — derivers
+	// that retrain, like adversarial fine-tuning — should call
+	// TrainingSet, which falls back to TrainFn lazily: the weight-cache
+	// load path never pays the dataset synthesis (or pins its tens of
+	// megabytes) for the majority of runs that only do inference.
 	Train *dataset.Set
-	Test  *dataset.Set
+	// TrainFn produces the training set on demand; see TrainingSet.
+	TrainFn func() *dataset.Set
+	Test    *dataset.Set
 	// CleanAcc is the test accuracy measured after training/loading, %.
 	CleanAcc float64
+
+	trainOnce sync.Once
+}
+
+// TrainingSet returns the model's training data, materialising it
+// from TrainFn on first use. Models with neither a materialised set
+// nor a generator (transfer-only fixtures) return an error.
+func (m *Model) TrainingSet() (*dataset.Set, error) {
+	m.trainOnce.Do(func() {
+		if m.Train == nil && m.TrainFn != nil {
+			m.Train = m.TrainFn()
+		}
+	})
+	if m.Train == nil {
+		return nil, fmt.Errorf("modelzoo: %s carries no training set", m.Net.Name)
+	}
+	return m.Train, nil
 }
 
 type entry struct {
@@ -85,12 +124,58 @@ var entries = map[string]entry{
 	},
 }
 
+// Deriver resolves model names no fixed entry covers. Match reports
+// whether the name belongs to this deriver; Build produces the model
+// (training and persisting as needed). Build runs outside the zoo's
+// lock and may call Get/GetCtx recursively for its base model. The
+// context is the initiating caller's: long builds (adversarial
+// fine-tuning inside a service job) should observe it and return its
+// error on cancellation, in which case nothing is cached and a later
+// Get retries.
+type Deriver struct {
+	Match func(name string) bool
+	Build func(ctx context.Context, name string) (*Model, error)
+}
+
+// call tracks one in-flight build so concurrent Gets of the same name
+// wait for the first instead of training twice.
+type call struct {
+	done chan struct{}
+	m    *Model
+	err  error
+}
+
 var (
-	mu    sync.Mutex
-	cache = map[string]*Model{}
+	mu       sync.Mutex
+	cache    = map[string]*Model{}
+	inflight = map[string]*call{}
+	derivers []Deriver
+	// derivedOrder tracks derived names in cache insertion order for
+	// the bounded-retention eviction below.
+	derivedOrder []string
 )
 
-// Names lists the available model identifiers.
+// maxDerivedCached bounds how many *derived* models (open-ended ids —
+// one per distinct defense config) stay memoised in process; the six
+// fixed entries are never evicted. A long-lived axserve receiving
+// varied defended specs stays bounded in memory, like the repo's
+// other long-lived stores (core.Cache budgets, Manager.MaxJobs).
+// Evicted models keep their on-disk weight cache, so re-resolution is
+// a cheap weights.Load, never a retrain.
+const maxDerivedCached = 32
+
+// RegisterDeriver adds a derived-model resolver, consulted by Get for
+// names without a fixed entry in registration order. Typically called
+// from an init function (internal/defense registers the adversarial
+// training scheme).
+func RegisterDeriver(d Deriver) {
+	mu.Lock()
+	defer mu.Unlock()
+	derivers = append(derivers, d)
+}
+
+// Names lists the fixed model identifiers (derived names — see
+// RegisterDeriver — are open-ended and not enumerated here).
 func Names() []string {
 	return []string{"lenet5-digits", "ffnn-digits", "alexnet-objects", "lenet5-objects", "alexnet-digits", "lenet5-digits32"}
 }
@@ -106,22 +191,105 @@ func Dir() string {
 	return d
 }
 
+// WeightPath returns the on-disk weight cache file for a model name,
+// with the characters derived identifiers use (':') made
+// filename-portable.
+func WeightPath(name string) string {
+	return filepath.Join(Dir(), strings.ReplaceAll(name, ":", "~")+".bin")
+}
+
 // Get returns the named trained model, training it on first use (and
 // persisting the weights) or loading it from the cache otherwise.
+// Concurrent Gets of one name share a single build (single-flight),
+// and a build may itself call Get — derivers resolve their base model
+// re-entrantly without deadlocking.
 func Get(name string) (*Model, error) {
-	mu.Lock()
-	defer mu.Unlock()
-	if m, ok := cache[name]; ok {
-		return m, nil
+	return GetCtx(context.Background(), name)
+}
+
+// GetCtx is Get observing a context: a caller waiting on another
+// caller's in-flight build stops waiting when its ctx dies, and the
+// build it initiates itself passes ctx down to derivers (fixed-entry
+// training is not cancellable mid-epoch; derived-model training is,
+// at crafting-chunk granularity). A build that returns the ctx error
+// is not cached, so a later Get retries it.
+func GetCtx(ctx context.Context, name string) (*Model, error) {
+	var c *call
+	for {
+		mu.Lock()
+		if m, ok := cache[name]; ok {
+			mu.Unlock()
+			return m, nil
+		}
+		waiter, waiting := inflight[name]
+		if !waiting {
+			c = &call{done: make(chan struct{})}
+			inflight[name] = c
+			mu.Unlock()
+			break
+		}
+		mu.Unlock()
+		select {
+		case <-waiter.done:
+			// A flight that died of its *initiator's* cancellation must
+			// not fail unrelated waiters: a waiter whose own ctx is live
+			// loops and re-attempts the build (the dead flight has been
+			// deregistered, so the retry starts fresh).
+			if (errors.Is(waiter.err, context.Canceled) || errors.Is(waiter.err, context.DeadlineExceeded)) && ctx.Err() == nil {
+				continue
+			}
+			return waiter.m, waiter.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 	}
+
+	// The cleanup is deferred so a panicking build (derivers run
+	// arbitrary training code) still deregisters the flight and wakes
+	// waiters with an error instead of parking every later Get forever;
+	// the panic itself propagates to this caller.
+	defer func() {
+		if c.m == nil && c.err == nil {
+			c.err = fmt.Errorf("modelzoo: building %s panicked", name)
+		}
+		mu.Lock()
+		if c.err == nil {
+			cache[name] = c.m
+			if _, fixed := entries[name]; !fixed {
+				derivedOrder = append(derivedOrder, name)
+				for len(derivedOrder) > maxDerivedCached {
+					delete(cache, derivedOrder[0])
+					derivedOrder = derivedOrder[1:]
+				}
+			}
+		}
+		delete(inflight, name)
+		mu.Unlock()
+		close(c.done)
+	}()
+	c.m, c.err = build(ctx, name)
+	return c.m, c.err
+}
+
+// build produces one model outside the lock: fixed entries first, then
+// the registered derivers.
+func build(ctx context.Context, name string) (*Model, error) {
 	e, ok := entries[name]
 	if !ok {
+		mu.Lock()
+		ds := append([]Deriver(nil), derivers...)
+		mu.Unlock()
+		for _, d := range ds {
+			if d.Match(name) {
+				return d.Build(ctx, name)
+			}
+		}
 		return nil, fmt.Errorf("modelzoo: unknown model %q (have %v)", name, Names())
 	}
 	net := e.build()
 	net.Name = name
 	test := e.testFn()
-	path := filepath.Join(Dir(), name+".bin")
+	path := WeightPath(name)
 	if err := weights.Load(net, path); err != nil {
 		if !errors.Is(err, fs.ErrNotExist) {
 			// The cache file was there but didn't load into this
@@ -145,11 +313,9 @@ func Get(name string) (*Model, error) {
 		}
 		m := &Model{Net: net, Train: tr, Test: test}
 		m.CleanAcc = 100 * train.Accuracy(net, test, 0)
-		cache[name] = m
 		return m, nil
 	}
-	m := &Model{Net: net, Test: test}
+	m := &Model{Net: net, TrainFn: e.trainFn, Test: test}
 	m.CleanAcc = 100 * train.Accuracy(net, test, 0)
-	cache[name] = m
 	return m, nil
 }

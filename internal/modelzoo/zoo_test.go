@@ -1,14 +1,20 @@
 package modelzoo
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/models"
 	"repro/internal/nn"
+	"repro/internal/train"
 )
 
 func TestNamesStable(t *testing.T) {
@@ -98,5 +104,267 @@ func TestGetCorruptCacheEntry(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "corrupt") {
 		t.Fatalf("error should say the cache is corrupt: %v", err)
+	}
+}
+
+// TestDeriverResolvesAndReenters registers a throwaway deriver and
+// checks the Get contract derived models rely on: unknown-but-matching
+// names route to Build, Build may re-enter Get for its base model
+// without deadlocking, results are memoised, and concurrent Gets of
+// one derived name share a single build.
+func TestDeriverResolvesAndReenters(t *testing.T) {
+	const base = "deriver-base-test"
+	const derived = base + "+double"
+	entries[base] = entry{
+		build:   func() *nn.Network { return models.FFNN(28*28, 10, 98) },
+		trainFn: func() *dataset.Set { return dataset.Digits(16, 3) },
+		testFn:  func() *dataset.Set { return dataset.Digits(16, 4) },
+		cfg:     train.Config{Epochs: 1, Batch: 8, Seed: 1, Workers: 1},
+	}
+	builds := 0
+	RegisterDeriver(Deriver{
+		Match: func(name string) bool { return strings.HasSuffix(name, "+double") },
+		Build: func(_ context.Context, name string) (*Model, error) {
+			builds++
+			bm, err := Get(strings.TrimSuffix(name, "+double")) // re-entrant
+			if err != nil {
+				return nil, err
+			}
+			net := bm.Net.DeepClone()
+			net.Name = name
+			return &Model{Net: net, Train: bm.Train, Test: bm.Test, CleanAcc: bm.CleanAcc}, nil
+		},
+	})
+	defer func() {
+		os.Remove(WeightPath(base))
+		delete(entries, base)
+		mu.Lock()
+		delete(cache, base)
+		delete(cache, derived)
+		derivers = derivers[:len(derivers)-1]
+		mu.Unlock()
+	}()
+
+	const gets = 4
+	ms := make([]*Model, gets)
+	errs := make([]error, gets)
+	var wg sync.WaitGroup
+	for i := 0; i < gets; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ms[i], errs[i] = Get(derived)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < gets; i++ {
+		if errs[i] != nil {
+			t.Fatalf("derived Get %d failed: %v", i, errs[i])
+		}
+		if ms[i] != ms[0] {
+			t.Fatal("concurrent derived Gets returned distinct instances")
+		}
+	}
+	if builds != 1 {
+		t.Fatalf("deriver built %d times for %d concurrent Gets, want 1", builds, gets)
+	}
+	bm, err := Get(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts, err := bm.TrainingSet(); err != nil || ts == nil {
+		t.Fatalf("base model must resolve a training set for derivers: %v", err)
+	}
+	if ms[0].Net == bm.Net {
+		t.Fatal("derived model must not alias the base network")
+	}
+
+	// The weight-cache load path stays lazy: dropping the memo forces a
+	// reload, which must not materialise the training set until a
+	// deriver asks.
+	mu.Lock()
+	delete(cache, base)
+	mu.Unlock()
+	reloaded, err := Get(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reloaded.Train != nil {
+		t.Fatal("load path materialised the training set eagerly")
+	}
+	if ts, err := reloaded.TrainingSet(); err != nil || ts == nil {
+		t.Fatalf("lazy TrainingSet failed on the load path: %v", err)
+	}
+	if reloaded.Train == nil {
+		t.Fatal("TrainingSet did not memoise the materialised set")
+	}
+}
+
+// TestGetSurvivesPanickingDeriver: a panic inside a build must
+// propagate to the caller AND deregister the flight, so later Gets of
+// the same name fail (or retry) instead of blocking forever on a dead
+// in-flight entry.
+func TestGetSurvivesPanickingDeriver(t *testing.T) {
+	const name = "panic-test+boom"
+	RegisterDeriver(Deriver{
+		Match: func(n string) bool { return n == name },
+		Build: func(context.Context, string) (*Model, error) { panic("deriver exploded") },
+	})
+	defer func() {
+		mu.Lock()
+		derivers = derivers[:len(derivers)-1]
+		delete(cache, name)
+		mu.Unlock()
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("build panic must propagate to the first caller")
+			}
+		}()
+		Get(name)
+	}()
+	// The second Get must not hang; it re-enters the (still panicking)
+	// deriver rather than waiting on the dead flight.
+	done := make(chan struct{})
+	go func() {
+		defer func() { recover(); close(done) }()
+		Get(name)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Get blocked forever after a panicking build")
+	}
+}
+
+// TestWeightPathPortable pins the ':' sanitisation derived ids need.
+func TestWeightPathPortable(t *testing.T) {
+	p := WeightPath("a+advtrain:PGD-linf:eps=0.1")
+	if strings.ContainsRune(filepath.Base(p), ':') {
+		t.Fatalf("WeightPath left ':' in %q", p)
+	}
+}
+
+// TestWaiterSurvivesInitiatorCancellation: a Get waiting on another
+// caller's in-flight build must not inherit that caller's
+// cancellation — it retries the build under its own live context.
+func TestWaiterSurvivesInitiatorCancellation(t *testing.T) {
+	const name = "cancel-retry-test+derived"
+	started := make(chan struct{}, 2)
+	release := make(chan struct{})
+	var builds int
+	var bmu sync.Mutex
+	RegisterDeriver(Deriver{
+		Match: func(n string) bool { return n == name },
+		Build: func(ctx context.Context, _ string) (*Model, error) {
+			bmu.Lock()
+			builds++
+			first := builds == 1
+			bmu.Unlock()
+			started <- struct{}{}
+			if first {
+				<-ctx.Done() // simulate training observing cancellation
+				return nil, ctx.Err()
+			}
+			<-release
+			return &Model{Net: models.FFNN(4, 2, 1), Test: dataset.Digits(1, 1)}, nil
+		},
+	})
+	defer func() {
+		mu.Lock()
+		derivers = derivers[:len(derivers)-1]
+		delete(cache, name)
+		mu.Unlock()
+	}()
+
+	initCtx, cancelInit := context.WithCancel(context.Background())
+	initErr := make(chan error, 1)
+	go func() {
+		_, err := GetCtx(initCtx, name)
+		initErr <- err
+	}()
+	<-started // initiator's build is in flight
+
+	waiterRes := make(chan error, 1)
+	go func() {
+		_, err := GetCtx(context.Background(), name)
+		waiterRes <- err
+	}()
+	// Give the waiter a moment to park on the flight, then cancel the
+	// initiator: its build dies with context.Canceled.
+	time.Sleep(20 * time.Millisecond)
+	cancelInit()
+	if err := <-initErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("initiator got %v, want context.Canceled", err)
+	}
+	// The waiter must retry (second build) and succeed once released.
+	<-started
+	close(release)
+	if err := <-waiterRes; err != nil {
+		t.Fatalf("waiter inherited the initiator's cancellation: %v", err)
+	}
+	bmu.Lock()
+	defer bmu.Unlock()
+	if builds != 2 {
+		t.Fatalf("expected a retry build, got %d builds", builds)
+	}
+}
+
+// TestDerivedRetentionBounded: the in-process memo of derived models
+// is bounded (fixed entries are never evicted), so a long-lived
+// server resolving many distinct defense configs stays bounded in
+// memory.
+func TestDerivedRetentionBounded(t *testing.T) {
+	const suffix = "+retention-test"
+	RegisterDeriver(Deriver{
+		Match: func(n string) bool { return strings.HasSuffix(n, suffix) },
+		Build: func(_ context.Context, name string) (*Model, error) {
+			net := models.FFNN(4, 2, 1)
+			net.Name = name
+			return &Model{Net: net, Test: dataset.Digits(1, 1)}, nil
+		},
+	})
+	defer func() {
+		mu.Lock()
+		derivers = derivers[:len(derivers)-1]
+		kept := derivedOrder[:0]
+		for _, n := range derivedOrder {
+			if strings.HasSuffix(n, suffix) {
+				delete(cache, n)
+			} else {
+				kept = append(kept, n)
+			}
+		}
+		derivedOrder = kept
+		mu.Unlock()
+	}()
+
+	for i := 0; i < maxDerivedCached+8; i++ {
+		if _, err := Get(fmt.Sprintf("cfg-%d%s", i, suffix)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mu.Lock()
+	derived := 0
+	for name := range cache {
+		if strings.HasSuffix(name, suffix) {
+			derived++
+		}
+	}
+	mu.Unlock()
+	if derived > maxDerivedCached {
+		t.Fatalf("%d derived models retained, bound is %d", derived, maxDerivedCached)
+	}
+	// The earliest derived entries were evicted, the newest kept.
+	mu.Lock()
+	_, oldest := cache["cfg-0"+suffix]
+	_, newest := cache[fmt.Sprintf("cfg-%d%s", maxDerivedCached+7, suffix)]
+	mu.Unlock()
+	if oldest {
+		t.Fatal("oldest derived model was not evicted")
+	}
+	if !newest {
+		t.Fatal("newest derived model must stay cached")
 	}
 }

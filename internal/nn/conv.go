@@ -176,6 +176,18 @@ func (c *Conv2D) CloneForTraining() Layer {
 	}
 }
 
+// CloneDetached implements ParamLayer: private copies of W/B, fresh
+// gradients.
+func (c *Conv2D) CloneDetached() Layer {
+	return &Conv2D{
+		InC: c.InC, OutC: c.OutC, K: c.K, Stride: c.Stride, Pad: c.Pad,
+		W:  append([]float32(nil), c.W...),
+		B:  append([]float32(nil), c.B...),
+		GW: make([]float32, len(c.GW)),
+		GB: make([]float32, len(c.GB)),
+	}
+}
+
 // Im2col unrolls conv receptive fields into columns:
 // cols[(ci*K*K + ki*K + kj)*P + p] = x[ci, i, j] for output pixel p.
 // Out-of-bounds (padding) positions contribute zero.

@@ -116,3 +116,15 @@ func (d *Dense) CloneForTraining() Layer {
 		GB: make([]float32, len(d.GB)),
 	}
 }
+
+// CloneDetached implements ParamLayer: private copies of W/B, fresh
+// gradients.
+func (d *Dense) CloneDetached() Layer {
+	return &Dense{
+		In: d.In, Out: d.Out,
+		W:  append([]float32(nil), d.W...),
+		B:  append([]float32(nil), d.B...),
+		GW: make([]float32, len(d.GW)),
+		GB: make([]float32, len(d.GB)),
+	}
+}

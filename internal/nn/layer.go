@@ -68,6 +68,11 @@ type ParamLayer interface {
 	// fresh gradient buffers, so data-parallel trainers can accumulate
 	// per-worker gradients without races.
 	CloneForTraining() Layer
+	// CloneDetached returns a copy owning private weight AND gradient
+	// storage initialised from the receiver — the basis of derived
+	// models (adversarial fine-tuning) that retrain without mutating
+	// their base.
+	CloneDetached() Layer
 }
 
 // batchDims splits a layer input into (n, sampleShape) following the

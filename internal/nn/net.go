@@ -134,6 +134,27 @@ func (n *Network) LossGradBatch(xs *tensor.T, labels []int) ([]float32, *tensor.
 	return losses, g
 }
 
+// GradFromLogitsBatch backpropagates an externally supplied logits
+// gradient: xs is [N, sampleShape...], dlogits is [N, classes], and
+// the result is the [N, sampleShape...] gradient of
+// sum_r <dlogits[r], logits(xs)[r]> w.r.t. xs. It is the BPDA
+// surrogate-gradient hook of the adaptive EOT attack: the loss (and
+// hence dlogits) comes from a non-differentiable victim — a quantized
+// AxDNN configuration — while the backward pass runs through this
+// float network. Like LossGradBatch it never touches the shared
+// weight-gradient buffers, so concurrent calls on one Network are
+// safe.
+func (n *Network) GradFromLogitsBatch(xs, dlogits *tensor.T) *tensor.T {
+	p := n.getPass(false)
+	logits := n.forward(xs, p)
+	if logits.Len() != dlogits.Len() {
+		panic("nn: GradFromLogitsBatch dlogits shape does not match the network's logits")
+	}
+	g := n.backward(dlogits, p)
+	n.putPass(p)
+	return g
+}
+
 // AccumGrad runs a training pass for (x, label): forward, loss, and
 // backward with weight gradients accumulated into the network's G
 // buffers. Unlike LossGrad it mutates shared state, so concurrent
@@ -195,6 +216,23 @@ func (n *Network) Clone() *Network {
 			c.Layers[i] = pl.CloneForTraining()
 		} else {
 			// Stateless layers are shared as-is.
+			c.Layers[i] = l
+		}
+	}
+	return c
+}
+
+// DeepClone returns a network with private copies of every parameter
+// (and fresh gradient buffers): retraining the clone — adversarial
+// fine-tuning a hardened variant — never mutates the base network or
+// invalidates caches keyed on its weights fingerprint. Stateless
+// layers are shared as in Clone.
+func (n *Network) DeepClone() *Network {
+	c := &Network{Name: n.Name, Layers: make([]Layer, len(n.Layers))}
+	for i, l := range n.Layers {
+		if pl, ok := l.(ParamLayer); ok {
+			c.Layers[i] = pl.CloneDetached()
+		} else {
 			c.Layers[i] = l
 		}
 	}

@@ -319,3 +319,62 @@ func TestPredictMatchesArgmaxLogits(t *testing.T) {
 		t.Fatal("Predict disagrees with Logits argmax")
 	}
 }
+
+// TestDeepCloneDetachesWeights: mutating a DeepClone's weights must
+// leave the base network (and its fingerprint) untouched — the
+// contract hardened derived models rely on.
+func TestDeepCloneDetachesWeights(t *testing.T) {
+	base := smallConvNet(21)
+	fp := base.WeightsFingerprint()
+	x := randInput([]int{2, 6, 6}, 22)
+	want := append([]float32(nil), base.Logits(x)...)
+
+	c := base.DeepClone()
+	got := c.Logits(x)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatal("DeepClone changed the forward pass")
+		}
+	}
+	for _, p := range c.Params() {
+		for i := range p.W {
+			p.W[i] += 1
+		}
+	}
+	if base.WeightsFingerprint() != fp {
+		t.Fatal("mutating a DeepClone's weights changed the base fingerprint")
+	}
+	after := base.Logits(x)
+	for i := range want {
+		if after[i] != want[i] {
+			t.Fatal("mutating a DeepClone's weights changed the base network")
+		}
+	}
+	if c.WeightsFingerprint() == fp {
+		t.Fatal("clone fingerprint did not track its own mutation")
+	}
+}
+
+// TestGradFromLogitsBatchMatchesLossGradBatch: feeding SoftmaxCE's own
+// dlogits through GradFromLogitsBatch must reproduce LossGradBatch bit
+// for bit — the identity that makes it a faithful BPDA backward hook.
+func TestGradFromLogitsBatchMatchesLossGradBatch(t *testing.T) {
+	net := smallConvNet(31)
+	xs := randInput([]int{3, 2, 6, 6}, 32)
+	labels := []int{1, 4, 0}
+	_, want := net.LossGradBatch(xs, labels)
+
+	logits := net.LogitsBatch(xs)
+	classes := logits.Shape[1]
+	dlogits := tensor.New(3, classes)
+	for r := 0; r < 3; r++ {
+		_, dl := SoftmaxCE(append([]float32(nil), logits.Data[r*classes:(r+1)*classes]...), labels[r])
+		copy(dlogits.Data[r*classes:(r+1)*classes], dl)
+	}
+	got := net.GradFromLogitsBatch(xs, dlogits)
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("grad[%d]: GradFromLogitsBatch %v != LossGradBatch %v", i, got.Data[i], want.Data[i])
+		}
+	}
+}

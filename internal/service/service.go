@@ -69,7 +69,7 @@ type Config struct {
 	Cache *core.Cache
 	// ModelSource overrides the engines' model resolver (default
 	// modelzoo.Get) — tests inject small purpose-trained fixtures.
-	ModelSource func(string) (*modelzoo.Model, error)
+	ModelSource func(context.Context, string) (*modelzoo.Model, error)
 	// MaxJobs bounds how many jobs — and their event logs and reports
 	// — the manager retains (default 1024). Beyond it, the oldest
 	// terminal jobs are evicted; queued and running jobs are never
@@ -126,7 +126,7 @@ func (j *job) statusLocked() JobStatus {
 		State:     j.state,
 		Suite:     j.spec.Name,
 		Model:     j.spec.Model,
-		Cells:     len(j.spec.Attacks) * len(j.spec.Eps),
+		Cells:     j.spec.CellCount(),
 		CellsDone: j.cellsDone,
 		Submitted: j.submitted,
 		Started:   j.started,
@@ -170,7 +170,7 @@ func (j *job) finishLocked(state State, elapsed time.Duration, err error) {
 		Time:    j.finished,
 		Job:     j.id,
 		Suite:   j.spec.Name,
-		Cells:   len(j.spec.Attacks) * len(j.spec.Eps),
+		Cells:   j.spec.CellCount(),
 		Cell:    j.cellsDone,
 		Elapsed: elapsed,
 	}
@@ -186,7 +186,7 @@ func (j *job) finishLocked(state State, elapsed time.Duration, err error) {
 // Construct with NewManager; all methods are safe for concurrent use.
 type Manager struct {
 	cache       *core.Cache
-	modelSource func(string) (*modelzoo.Model, error)
+	modelSource func(context.Context, string) (*modelzoo.Model, error)
 	maxJobs     int
 
 	mu     sync.Mutex
@@ -507,7 +507,7 @@ func (m *Manager) runJob(j *job) {
 
 	j.record(experiment.Event{
 		Kind:  experiment.SuiteStarted,
-		Cells: len(j.spec.Attacks) * len(j.spec.Eps),
+		Cells: j.spec.CellCount(),
 	})
 	opts := []experiment.Option{
 		experiment.WithCache(m.cache),

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/defense"
 	"repro/internal/experiment"
 	"repro/internal/models"
 	"repro/internal/modelzoo"
@@ -23,9 +24,12 @@ import (
 var (
 	fixtureOnce sync.Once
 	fixtureZoo  map[string]*modelzoo.Model
+	// fixtureMu guards fixtureZoo across every source closure — the
+	// map is package-shared, so the lock must be too.
+	fixtureMu sync.Mutex
 )
 
-func fixtureSource(t *testing.T) func(string) (*modelzoo.Model, error) {
+func fixtureSource(t *testing.T) func(context.Context, string) (*modelzoo.Model, error) {
 	t.Helper()
 	fixtureOnce.Do(func() {
 		fixtureZoo = map[string]*modelzoo.Model{}
@@ -34,14 +38,34 @@ func fixtureSource(t *testing.T) func(string) (*modelzoo.Model, error) {
 		net := models.FFNN(28*28, 10, 173)
 		net.Name = "tiny-svc"
 		train.Fit(net, tr, train.Config{Epochs: 2, Batch: 32, LR: 0.05, Momentum: 0.9, Seed: 3})
-		fixtureZoo["tiny-svc"] = &modelzoo.Model{Net: net, Test: test, CleanAcc: 100 * train.Accuracy(net, test, 0)}
+		fixtureZoo["tiny-svc"] = &modelzoo.Model{Net: net, Train: tr, Test: test, CleanAcc: 100 * train.Accuracy(net, test, 0)}
 	})
-	return func(name string) (*modelzoo.Model, error) {
-		m, ok := fixtureZoo[name]
-		if !ok {
-			return nil, fmt.Errorf("fixture zoo: unknown model %q", name)
+	return func(ctx context.Context, name string) (*modelzoo.Model, error) {
+		fixtureMu.Lock()
+		defer fixtureMu.Unlock()
+		if m, ok := fixtureZoo[name]; ok {
+			return m, nil
 		}
-		return m, nil
+		// Defended jobs harden fixture models on demand, the way the
+		// real zoo's defense deriver would.
+		if defense.IsHardenedID(name) {
+			base, cfg, err := defense.ParseHardenedID(name)
+			if err != nil {
+				return nil, err
+			}
+			bm, ok := fixtureZoo[base]
+			if !ok {
+				return nil, fmt.Errorf("fixture zoo: unknown base model %q", base)
+			}
+			cfg.Workers = 1
+			m, err := defense.Harden(ctx, bm, cfg)
+			if err != nil {
+				return nil, err
+			}
+			fixtureZoo[name] = m
+			return m, nil
+		}
+		return nil, fmt.Errorf("fixture zoo: unknown model %q", name)
 	}
 }
 
@@ -256,11 +280,11 @@ func TestEventsReplayableByLateSubscribers(t *testing.T) {
 
 // gatedSource blocks model resolution until the gate opens, giving
 // tests deterministic control over when a running job can proceed.
-func gatedSource(t *testing.T, gate <-chan struct{}) func(string) (*modelzoo.Model, error) {
+func gatedSource(t *testing.T, gate <-chan struct{}) func(context.Context, string) (*modelzoo.Model, error) {
 	src := fixtureSource(t)
-	return func(name string) (*modelzoo.Model, error) {
+	return func(ctx context.Context, name string) (*modelzoo.Model, error) {
 		<-gate
-		return src(name)
+		return src(ctx, name)
 	}
 }
 
@@ -399,7 +423,7 @@ func TestResubmitRetriesTerminalFailures(t *testing.T) {
 	var calls int
 	var mu sync.Mutex
 	src := fixtureSource(t)
-	flaky := func(name string) (*modelzoo.Model, error) {
+	flaky := func(ctx context.Context, name string) (*modelzoo.Model, error) {
 		mu.Lock()
 		calls++
 		first := calls == 1
@@ -407,7 +431,7 @@ func TestResubmitRetriesTerminalFailures(t *testing.T) {
 		if first {
 			return nil, fmt.Errorf("model store briefly unavailable")
 		}
-		return src(name)
+		return src(ctx, name)
 	}
 	m := newTestManager(t, Config{Workers: 1, ModelSource: flaky})
 	id, created, err := m.Submit(tinySpec())
@@ -572,5 +596,67 @@ func TestCloseDrains(t *testing.T) {
 	}
 	if st, _ := m2.Status(id2); st.State != StateCancelled {
 		t.Fatalf("force-drained job state = %s, want cancelled", st.State)
+	}
+}
+
+// TestDefendedSuiteJob: a spec with a defense block runs end to end
+// through the manager — hardened-model training happens inside the
+// job, the report carries the defense victims and the adaptive EOT
+// grid, progress is sized by Spec.CellCount, and the defended spec
+// never dedups onto its undefended twin.
+func TestDefendedSuiteJob(t *testing.T) {
+	m := newTestManager(t, Config{Workers: 1})
+	plain := tinySpec()
+	defended := tinySpec()
+	defended.ApproxDense = true
+	defended.Defense = &experiment.DefenseSpec{
+		Kind:       "advtrain,ensemble",
+		Attack:     "PGD-linf",
+		Eps:        0.1,
+		Ratio:      0.3,
+		Epochs:     1,
+		Pool:       []string{"mul8u_1JFF", "mul8u_JV3"},
+		EOTSamples: 2,
+	}
+	idPlain, err := JobID(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idDef, err := JobID(defended)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idPlain == idDef {
+		t.Fatal("defended and undefended specs hash to one job ID")
+	}
+
+	id, created, err := m.Submit(defended)
+	if err != nil || !created {
+		t.Fatalf("Submit = (%v, %v, %v)", id, created, err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	rep, err := m.Wait(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Grids) != len(defended.Attacks)+1 {
+		t.Fatalf("defended job produced %d grids, want %d", len(rep.Grids), len(defended.Attacks)+1)
+	}
+	if _, ok := rep.Grid("EOT-PGD-linf"); !ok {
+		t.Fatal("defended job report is missing the EOT grid")
+	}
+	g := rep.Grids[0]
+	for _, name := range []string{defended.Defense.AdvTrainVictimName(), "ensemble[2]"} {
+		if _, ok := g.Column(name); !ok {
+			t.Fatalf("defended job report is missing victim %q (victims %v)", name, g.Victims)
+		}
+	}
+	st, err := m.Status(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cells != defended.CellCount() || st.CellsDone != defended.CellCount() {
+		t.Fatalf("job progress %d/%d, want %d/%d", st.CellsDone, st.Cells, defended.CellCount(), defended.CellCount())
 	}
 }

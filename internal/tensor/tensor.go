@@ -246,6 +246,34 @@ func (t *T) RowView(lo, hi int) *T {
 	return &T{Shape: shape, Data: t.Data[lo*stride : hi*stride]}
 }
 
+// GatherRows copies the listed rows of a batched tensor into a fresh
+// [len(rows), sampleShape...] batch, in list order. Randomized-victim
+// evaluation uses it to regroup a batch by the pool member each row
+// drew before scoring every group with one LogitsBatch call.
+func GatherRows(t *T, rows []int) *T {
+	out := New(append([]int{len(rows)}, t.Shape[1:]...)...)
+	stride := t.RowLen()
+	for i, r := range rows {
+		copy(out.Data[i*stride:(i+1)*stride], t.Data[r*stride:(r+1)*stride])
+	}
+	return out
+}
+
+// ScatterRows copies row i of src into row rows[i] of dst — the
+// inverse of GatherRows. Row lengths of src and dst must match.
+func ScatterRows(dst, src *T, rows []int) {
+	if src.Rows() != len(rows) {
+		panic(fmt.Sprintf("tensor: ScatterRows of %d rows into %d slots", src.Rows(), len(rows)))
+	}
+	stride := dst.RowLen()
+	if src.RowLen() != stride {
+		panic(fmt.Sprintf("tensor: ScatterRows row length %d != %d", src.RowLen(), stride))
+	}
+	for i, r := range rows {
+		copy(dst.Data[r*stride:(r+1)*stride], src.Data[i*stride:(i+1)*stride])
+	}
+}
+
 // ArgMaxRows returns the per-row argmax of a batched tensor (for
 // [N, classes] logits: the predicted class of every sample).
 func ArgMaxRows(t *T) []int {

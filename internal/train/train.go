@@ -20,15 +20,25 @@ import (
 
 // Config controls Fit.
 type Config struct {
-	Epochs   int
-	Batch    int
+	Epochs int
+	Batch  int
+	// LR is the initial learning rate. LR <= 0 is the documented
+	// default sentinel and selects 0.05; any positive value — however
+	// tiny — is used as given.
 	LR       float64
 	Momentum float64
 	// LRDecay multiplies the learning rate after each epoch (1 = none).
 	LRDecay float64
 	Seed    int64
-	Workers int // 0 = GOMAXPROCS
-	// Silent suppresses progress logging.
+	// Workers caps data parallelism (0 = GOMAXPROCS). For a fixed
+	// (Seed, Workers) pair Fit is deterministic: same data, same final
+	// weights, bit for bit. Different worker counts reduce per-worker
+	// gradients in a different floating-point order, so weights across
+	// worker counts agree only approximately — intended, and pinned by
+	// the determinism tests.
+	Workers int
+	// Logf, when non-nil, receives one progress line per epoch; nil
+	// suppresses logging.
 	Logf func(format string, args ...any)
 }
 
@@ -39,7 +49,7 @@ func (c Config) withDefaults() Config {
 	if c.Epochs <= 0 {
 		c.Epochs = 1
 	}
-	if c.LR == 0 {
+	if c.LR <= 0 {
 		c.LR = 0.05
 	}
 	if c.LRDecay == 0 {

@@ -16,6 +16,7 @@
 //	dataset           synthetic MNIST/CIFAR-10 substitutes
 //	models, modelzoo  LeNet-5 / AlexNet / FFNN builders and trained cache
 //	core              Algorithm 1: the robustness evaluation methodology
+//	defense           adversarial training + randomized-approximation ensembles
 //	experiment        declarative suites: JSON Spec -> Engine.Run -> Report
 //	cli               shared flag parsing / progress rendering for cmd tools
 //
