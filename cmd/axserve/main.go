@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -44,7 +45,28 @@ func main() {
 	cacheMB := flag.Int64("cache-mb", 0, "crafted-batch cache budget in MiB (0 = default 128)")
 	retain := flag.Int("retain", 0, "finished jobs retained for dedup/replay (0 = default 1024)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown drain timeout")
+	debugAddr := flag.String("debug-addr", "", "pprof listen address, e.g. 127.0.0.1:6060 (empty = disabled)")
 	flag.Parse()
+
+	if *debugAddr != "" {
+		// Live kernel profiles under server load: a separate listener so
+		// the profiling surface is never exposed on the service address.
+		//
+		//	go tool pprof http://127.0.0.1:6060/debug/pprof/profile?seconds=30
+		//	curl -s http://127.0.0.1:6060/debug/pprof/heap > heap.pb.gz
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("axserve: pprof on http://%s/debug/pprof/", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, dmux); err != nil {
+				log.Printf("axserve: pprof listener: %v", err)
+			}
+		}()
+	}
 
 	cfg := core.CacheConfig{}
 	if *cacheMB < 0 {

@@ -1,6 +1,7 @@
 package axmult
 
 import (
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -359,6 +360,38 @@ func TestAllRegisteredSaturate(t *testing.T) {
 		for _, pair := range [][2]uint8{{255, 255}, {255, 0}, {0, 255}, {0, 0}, {128, 128}} {
 			got := m.Mul(pair[0], pair[1])
 			_ = got // must simply not panic; uint16 bounds by construction
+		}
+	}
+}
+
+// TestTableTransposeParity pins the transposed-table contract the
+// weight-stationary axnn kernel relies on: TableT()[b<<8|a] equals
+// Table()[a<<8|b] over the full input space, the build is lazy but
+// cached on the LUT instance, and concurrent first use is safe.
+func TestTableTransposeParity(t *testing.T) {
+	l := MustLookup("mul8u_JV3")
+	var tts [4][]uint16
+	var wg sync.WaitGroup
+	for i := range tts {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tts[i] = l.TableT()
+		}(i)
+	}
+	wg.Wait()
+	tt := tts[0]
+	for _, other := range tts[1:] {
+		if &other[0] != &tt[0] {
+			t.Fatal("TableT rebuilt the transposed table instead of caching it")
+		}
+	}
+	tab := l.Table()
+	for a := 0; a < 256; a++ {
+		for b := 0; b < 256; b++ {
+			if tab[a<<8|b] != tt[b<<8|a] {
+				t.Fatalf("transpose mismatch at a=%d b=%d: %d != %d", a, b, tab[a<<8|b], tt[b<<8|a])
+			}
 		}
 	}
 }

@@ -1,11 +1,20 @@
 package axmult
 
+import "sync"
+
 // LUT is a multiplier compiled to an exhaustive 256x256 lookup table —
 // the representation TFApprox-style accelerator simulators consume.
 // Index layout: table[a<<8 | b].
 type LUT struct {
 	id    string
 	table []uint16
+
+	// tOnce guards the lazily built transposed table (index b<<8 | a).
+	// Weight-stationary GEMM kernels read the transposed layout: with
+	// the weight code fixed, the 256 possible activation codes sit in
+	// one contiguous 512-byte row instead of 512 bytes apart.
+	tOnce  sync.Once
+	tableT []uint16
 }
 
 // Compile evaluates m over the full 8x8 input space.
@@ -30,3 +39,22 @@ func (l *LUT) Mul(a, b uint8) uint16 {
 // Table exposes the raw table for hot loops (length 65536, index
 // a<<8|b). Callers must not modify it.
 func (l *LUT) Table() []uint16 { return l.table }
+
+// TableT exposes the transposed table (length 65536, index b<<8|a),
+// built on first use and cached on the LUT — so registry users
+// (Lookup caches LUT instances process-wide) pay the 64 KB transpose
+// once per design. TableT()[b<<8|a] == Table()[a<<8|b] exactly.
+// Callers must not modify it.
+func (l *LUT) TableT() []uint16 {
+	l.tOnce.Do(func() {
+		t := make([]uint16, 1<<16)
+		for a := 0; a < 256; a++ {
+			row := l.table[a<<8 : a<<8+256]
+			for b, v := range row {
+				t[b<<8|a] = v
+			}
+		}
+		l.tableT = t
+	})
+	return l.tableT
+}

@@ -16,12 +16,21 @@
 //     multiplier the engine reproduces standard uint8 post-training
 //     quantization.
 //
+// The conv/dense kernels are tiled, weight-stationary LUT GEMMs: each
+// weight code reads one contiguous 256-entry row of the transposed
+// multiplier table, output channels are register-blocked, the pixel
+// dimension is tiled to L1-sized chunks, and all scratch comes from a
+// pooled per-Network workspace arena (see workspace.go). The pre-PR
+// naive kernel is retained behind WithReferenceKernel for bit-for-bit
+// parity tests and the BenchmarkTiledVsSeed regression gate.
+//
 // Networks produced by Compile are immutable after SetMultiplier and
 // safe for concurrent Logits calls.
 package axnn
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/axmult"
 	"repro/internal/nn"
@@ -44,6 +53,13 @@ type Options struct {
 	NoZeroPointCorrection bool
 	// Multiplier is the initial multiplier; nil means the exact design.
 	Multiplier *axmult.LUT
+	// Workers caps intra-batch sample parallelism: LogitsBatch splits
+	// its samples across up to Workers goroutines, each owning a pooled
+	// workspace. 0 or 1 keeps the serial behavior; rows are bit-for-bit
+	// independent of the worker count. Useful for large-sample cells,
+	// EOT averaging, and hardened-training crafting, where a single
+	// call carries enough samples to fill a machine by itself.
+	Workers int
 }
 
 // Network is a compiled quantized network.
@@ -51,10 +67,18 @@ type Network struct {
 	Name        string
 	layers      []qlayer
 	mul         []uint16 // active LUT table, index a<<8|w
+	mulT        []uint16 // transposed table, index w<<8|a (weight-major rows)
 	mulID       string
 	inQP        quant.Params
 	approxDense bool
 	noZP        bool
+	workers     int
+	ref         bool // route conv/dense through the retained pre-PR kernel
+
+	// pool hands out per-goroutine workspace arenas sized from hint.
+	// It is a pointer so WithMultiplier/WithWorkers copies share it.
+	pool *sync.Pool
+	hint wsHint
 }
 
 // qtensor is a batch of n quantized activations sharing one code
@@ -71,9 +95,11 @@ type qtensor struct {
 func (t qtensor) vol() int { return len(t.data) / t.n }
 
 // qlayer either produces another quantized batch or, for the final
-// stage, float logits ([n * classes], row-major by sample).
+// stage, float logits ([n * classes], row-major by sample). ws is the
+// caller-owned scratch arena; it is nil only on the reference-kernel
+// path, where layers allocate per call as the seed engine did.
 type qlayer interface {
-	forward(net *Network, in qtensor) (qtensor, []float32)
+	forward(net *Network, ws *workspace, in qtensor) (qtensor, []float32)
 }
 
 // Compile quantizes a trained float network using the calibration set
@@ -114,7 +140,14 @@ func Compile(n *nn.Network, calib []*tensor.T, opts Options) (*Network, error) {
 		inQP:        quant.Calibrate(inMin, inMax, bits),
 		approxDense: opts.ApproxDense,
 		noZP:        opts.NoZeroPointCorrection,
+		workers:     opts.Workers,
 	}
+	// Shape walk alongside layer compilation: the workspace hint
+	// records the largest im2col, accumulator, and activation
+	// footprints any layer needs for one sample, so pooled arenas are
+	// right-sized from their first checkout.
+	shape := append([]int(nil), calib[0].Shape...)
+	q.hint.vol = volOf(shape)
 	inQP := q.inQP
 	for i, l := range n.Layers {
 		outQP := quant.Calibrate(mins[i], maxs[i], bits)
@@ -122,8 +155,23 @@ func Compile(n *nn.Network, calib []*tensor.T, opts Options) (*Network, error) {
 		switch t := l.(type) {
 		case *nn.Conv2D:
 			q.layers = append(q.layers, newQConv(t, inQP, outQP, bits))
+			h, w := shape[1], shape[2]
+			outH := (h+2*t.Pad-t.K)/t.Stride + 1
+			outW := (w+2*t.Pad-t.K)/t.Stride + 1
+			p := outH * outW
+			kk := t.InC * t.K * t.K
+			q.hint.cols = max(q.hint.cols, kk*p)
+			q.hint.p = max(q.hint.p, p)
+			// The sparse skip-zero kernel accumulates whole pixel rows
+			// plus an equally sized pixel-interleaved quad scratch.
+			q.hint.acc = max(q.hint.acc, 2*convBlock*p)
+			q.hint.kk = max(q.hint.kk, kk)
+			shape = []int{t.OutC, outH, outW}
 		case *nn.Dense:
-			q.layers = append(q.layers, newQDense(t, inQP, outQP, bits, last))
+			q.layers = append(q.layers, newQDense(t, inQP, outQP, bits, last, opts.ApproxDense))
+			q.hint.dense = max(q.hint.dense, t.Out)
+			q.hint.acc = max(q.hint.acc, t.Out)
+			shape = []int{t.Out}
 		case *nn.ReLU:
 			q.layers = append(q.layers, &qReLU{outQP: outQP, lut: quant.RequantLUT(inQP, outQP, func(v float32) float32 {
 				if v < 0 {
@@ -132,24 +180,37 @@ func Compile(n *nn.Network, calib []*tensor.T, opts Options) (*Network, error) {
 				return v
 			})})
 		case *nn.AvgPool2D:
-			q.layers = append(q.layers, &qAvgPool{k: t.K, stride: poolStride(t), outQP: outQP, lut: quant.RequantLUT(inQP, outQP, nil)})
+			stride := poolStride(t)
+			q.layers = append(q.layers, &qAvgPool{k: t.K, stride: stride, outQP: outQP, lut: quant.RequantLUT(inQP, outQP, nil)})
+			shape = []int{shape[0], (shape[1]-t.K)/stride + 1, (shape[2]-t.K)/stride + 1}
 		case *nn.Flatten:
 			q.layers = append(q.layers, &qFlatten{})
+			shape = []int{volOf(shape)}
 			outQP = inQP // passthrough keeps params
 		default:
 			return nil, fmt.Errorf("axnn: unsupported layer type %T", l)
 		}
+		q.hint.vol = max(q.hint.vol, volOf(shape))
 		if _, ok := l.(*nn.Flatten); ok {
 			continue
 		}
 		inQP = outQP
 	}
+	q.pool = newWSPool(q.hint)
 	if opts.Multiplier != nil {
 		q.SetMultiplier(opts.Multiplier)
 	} else {
 		q.SetMultiplier(axmult.MustLookup("mul8u_1JFF"))
 	}
 	return q, nil
+}
+
+func volOf(shape []int) int {
+	v := 1
+	for _, d := range shape {
+		v *= d
+	}
+	return v
 }
 
 func poolStride(p *nn.AvgPool2D) int {
@@ -163,18 +224,41 @@ func poolStride(p *nn.AvgPool2D) int {
 // optionally dense) layers. It returns the network for chaining.
 func (q *Network) SetMultiplier(l *axmult.LUT) *Network {
 	q.mul = l.Table()
+	q.mulT = l.TableT()
 	q.mulID = l.Name()
 	return q
 }
 
 // WithMultiplier returns a shallow copy of the network running on the
-// given multiplier. The copy shares the (immutable) quantized layers,
-// so building one AxDNN per multiplier from a single compilation is
-// cheap — the harness uses this to fan a grid out across designs.
+// given multiplier. The copy shares the (immutable) quantized layers
+// and the workspace pool, so building one AxDNN per multiplier from a
+// single compilation is cheap — the harness uses this to fan a grid
+// out across designs.
 func (q *Network) WithMultiplier(l *axmult.LUT) *Network {
 	c := *q
 	c.mul = l.Table()
+	c.mulT = l.TableT()
 	c.mulID = l.Name()
+	return &c
+}
+
+// WithWorkers returns a shallow copy whose LogitsBatch splits samples
+// across up to n goroutines (see Options.Workers). The copy shares
+// layers and the workspace pool.
+func (q *Network) WithWorkers(n int) *Network {
+	c := *q
+	c.workers = n
+	return &c
+}
+
+// WithReferenceKernel returns a shallow copy that routes conv and
+// dense stages through the retained pre-tiling kernel (naive
+// activation-major LUT indexing, per-call scratch). It exists for the
+// bit-for-bit parity tests and the BenchmarkTiledVsSeed baseline;
+// production paths never set it.
+func (q *Network) WithReferenceKernel() *Network {
+	c := *q
+	c.ref = true
 	return &c
 }
 
@@ -189,26 +273,69 @@ func (q *Network) Logits(x *tensor.T) []float32 {
 
 // LogitsBatch runs the integer pipeline on a batch [N, sampleShape...]
 // and returns the [N, classes] logits. The whole batch shares one
-// quantization pass and one set of im2col/accumulator buffers per conv
+// quantization pass and pooled im2col/accumulator workspaces per conv
 // stage, so the LUT work is amortised; row r is bit-for-bit identical
-// to Logits on sample r. Safe for concurrent use.
+// to Logits on sample r, for any Workers setting. Safe for concurrent
+// use.
 func (q *Network) LogitsBatch(xs *tensor.T) *tensor.T {
 	n := xs.Shape[0]
 	out := q.run(xs.Data, xs.Shape[1:], n)
 	return tensor.FromSlice(out, n, len(out)/n)
 }
 
-// run quantizes n packed samples and pushes them through the layers.
+// run pushes n packed samples through the layers, splitting them
+// across workers when intra-batch parallelism is enabled. Per-sample
+// results are independent deterministic integer arithmetic, so the
+// split is invisible in the output.
 func (q *Network) run(data []float32, sampleShape []int, n int) []float32 {
-	in := qtensor{
-		n:     n,
-		shape: append([]int(nil), sampleShape...),
-		data:  q.inQP.QuantizeSlice(data),
-		qp:    q.inQP,
+	w := q.workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		return q.runChunk(data, sampleShape, n)
+	}
+	vol := len(data) / n
+	chunk := (n + w - 1) / w
+	parts := make([][]float32, (n+chunk-1)/chunk)
+	var wg sync.WaitGroup
+	for ci, lo := 0, 0; lo < n; ci, lo = ci+1, lo+chunk {
+		hi := min(lo+chunk, n)
+		wg.Add(1)
+		go func(ci, lo, hi int) {
+			defer wg.Done()
+			parts[ci] = q.runChunk(data[lo*vol:hi*vol], sampleShape, hi-lo)
+		}(ci, lo, hi)
+	}
+	wg.Wait()
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([]float32, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// runChunk quantizes one contiguous chunk of samples and pushes it
+// through the layer stack on a pooled workspace.
+func (q *Network) runChunk(data []float32, sampleShape []int, n int) []float32 {
+	in := qtensor{n: n, shape: sampleShape, qp: q.inQP}
+	var ws *workspace
+	if q.ref {
+		// Reference path: allocate per call, exactly as the seed engine.
+		in.data = q.inQP.QuantizeSlice(data)
+	} else {
+		ws = q.getWS()
+		defer q.putWS(ws)
+		in.data = ws.nextAct(len(data))
+		q.inQP.QuantizeInto(in.data, data)
 	}
 	for _, l := range q.layers {
 		var logits []float32
-		in, logits = l.forward(q, in)
+		in, logits = l.forward(q, ws, in)
 		if logits != nil {
 			return logits
 		}
@@ -222,24 +349,35 @@ func (q *Network) Predict(x *tensor.T) int {
 	return tensor.ArgMax(q.Logits(x))
 }
 
+// outBuf returns the output activation buffer for a layer: the other
+// ping-pong arena buffer normally, a fresh allocation on the
+// reference-kernel path.
+func outBuf(net *Network, ws *workspace, n int) []uint8 {
+	if net.ref {
+		return make([]uint8, n)
+	}
+	return ws.nextAct(n)
+}
+
 // qReLU and requantization stages are 256-entry code maps.
 type qReLU struct {
 	lut   []uint8
 	outQP quant.Params
 }
 
-func (r *qReLU) forward(_ *Network, in qtensor) (qtensor, []float32) {
+func (r *qReLU) forward(net *Network, ws *workspace, in qtensor) (qtensor, []float32) {
 	// Elementwise code map: the batch is one flat pass.
-	out := qtensor{n: in.n, shape: in.shape, data: make([]uint8, len(in.data)), qp: r.outQP}
+	out := qtensor{n: in.n, shape: in.shape, data: outBuf(net, ws, len(in.data)), qp: r.outQP}
+	lut := (*[256]uint8)(r.lut)
 	for i, c := range in.data {
-		out.data[i] = r.lut[c]
+		out.data[i] = lut[c]
 	}
 	return out, nil
 }
 
 type qFlatten struct{}
 
-func (f *qFlatten) forward(_ *Network, in qtensor) (qtensor, []float32) {
+func (f *qFlatten) forward(_ *Network, _ *workspace, in qtensor) (qtensor, []float32) {
 	return qtensor{n: in.n, shape: []int{in.vol()}, data: in.data, qp: in.qp}, nil
 }
 
@@ -251,11 +389,11 @@ type qAvgPool struct {
 	outQP     quant.Params
 }
 
-func (p *qAvgPool) forward(_ *Network, in qtensor) (qtensor, []float32) {
+func (p *qAvgPool) forward(net *Network, ws *workspace, in qtensor) (qtensor, []float32) {
 	c, h, w := in.shape[0], in.shape[1], in.shape[2]
 	outH := (h-p.k)/p.stride + 1
 	outW := (w-p.k)/p.stride + 1
-	out := qtensor{n: in.n, shape: []int{c, outH, outW}, data: make([]uint8, in.n*c*outH*outW), qp: p.outQP}
+	out := qtensor{n: in.n, shape: []int{c, outH, outW}, data: outBuf(net, ws, in.n*c*outH*outW), qp: p.outQP}
 	kk := p.k * p.k
 	half := kk / 2
 	for s := 0; s < in.n; s++ {
@@ -264,6 +402,23 @@ func (p *qAvgPool) forward(_ *Network, in qtensor) (qtensor, []float32) {
 		for ci := 0; ci < c; ci++ {
 			src := sIn[ci*h*w:]
 			dst := sOut[ci*outH*outW:]
+			if p.k == 2 && p.stride == 2 && !net.ref {
+				// The ubiquitous 2x2/2 window, unrolled: row pairs are
+				// walked once with no inner window loops. Arithmetic is
+				// identical to the general path below. The reference
+				// engine takes the general path so the seed side of
+				// BenchmarkTiledVsSeed keeps the pre-PR layer cost.
+				for oi := 0; oi < outH; oi++ {
+					r0 := src[(2*oi)*w : (2*oi)*w+w]
+					r1 := src[(2*oi+1)*w : (2*oi+1)*w+w]
+					d := dst[oi*outW : oi*outW+outW]
+					for oj := range d {
+						sum := int(r0[2*oj]) + int(r0[2*oj+1]) + int(r1[2*oj]) + int(r1[2*oj+1])
+						d[oj] = p.lut[(sum+2)/4]
+					}
+				}
+				continue
+			}
 			for oi := 0; oi < outH; oi++ {
 				for oj := 0; oj < outW; oj++ {
 					sum := 0

@@ -226,7 +226,9 @@ func TestZeroPointCorrectionExactness(t *testing.T) {
 	}
 	x := calibSet(1, 22)[0]
 	in := qtensor{n: 1, shape: x.Shape, data: q.inQP.QuantizeSlice(x.Data), qp: q.inQP}
-	out, _ := qc.forward(q, in)
+	ws := q.getWS()
+	defer q.putWS(ws)
+	out, _ := qc.forward(q, ws, in)
 
 	// Direct affine computation for output (oc=0, oi=0, oj=0).
 	kk := qc.inC * qc.k * qc.k

@@ -28,9 +28,11 @@ func TestDiagnoseQuantizationDepth(t *testing.T) {
 	floats := m.Net.ForwardTrace(x)
 
 	in := qtensor{n: 1, shape: x.Shape, data: q.inQP.QuantizeSlice(x.Data), qp: q.inQP}
+	ws := q.getWS()
+	defer q.putWS(ws)
 	for i, l := range q.layers {
 		var logits []float32
-		in, logits = l.forward(q, in)
+		in, logits = l.forward(q, ws, in)
 		var deq []float32
 		if logits != nil {
 			deq = logits

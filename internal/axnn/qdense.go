@@ -10,9 +10,18 @@ import (
 // int32 MACs; Options.ApproxDense reroutes them through the LUT (used
 // for the conv-free FFNN of Fig. 1 and the dense-approximation
 // ablation). The final dense layer emits float logits directly.
+//
+// The approximate path runs activation-stationary: for each input
+// element the 256-entry product row lut[a<<8:...] is contiguous, and a
+// transposed weight-code matrix (wT, built only when ApproxDense is
+// compiled in) makes the per-input weight walk sequential too — every
+// load in the inner loop is unit-stride. Accumulation order per output
+// is unchanged (ascending input index), so results stay bit-identical
+// to the reference kernel.
 type qDense struct {
 	in, out int
 	wCodes  []uint8
+	wT      []uint8 // [in][out] transposed codes; nil unless ApproxDense
 	wSum    []int32
 	wQP     quant.Params
 	inQP    quant.Params
@@ -21,7 +30,7 @@ type qDense struct {
 	last    bool
 }
 
-func newQDense(d *nn.Dense, inQP, outQP quant.Params, bits uint, last bool) *qDense {
+func newQDense(d *nn.Dense, inQP, outQP quant.Params, bits uint, last, approxDense bool) *qDense {
 	lo, hi := quant.Range(d.W)
 	wQP := quant.Calibrate(lo, hi, bits)
 	q := &qDense{
@@ -39,16 +48,33 @@ func newQDense(d *nn.Dense, inQP, outQP quant.Params, bits uint, last bool) *qDe
 		}
 		q.wSum[o] = s
 	}
+	if approxDense {
+		q.wT = make([]uint8, d.In*d.Out)
+		for o := 0; o < d.Out; o++ {
+			for i := 0; i < d.In; i++ {
+				q.wT[i*d.Out+o] = q.wCodes[o*d.In+i]
+			}
+		}
+	}
 	return q
 }
 
-func (d *qDense) forward(net *Network, in qtensor) (qtensor, []float32) {
+func (d *qDense) forward(net *Network, ws *workspace, in qtensor) (qtensor, []float32) {
+	if net.ref {
+		return d.refForward(net, in)
+	}
 	za := int32(d.inQP.Zero)
 	zw := int32(d.wQP.Zero)
 	scale := d.inQP.Scale * d.wQP.Scale
-	lut := net.mul
 
-	vals := make([]float32, in.n*d.out)
+	var vals []float32
+	if d.last {
+		// Final logits leave the engine; they must not live in the
+		// recycled workspace.
+		vals = make([]float32, in.n*d.out)
+	} else {
+		vals = f32(&ws.vals, in.n*d.out)
+	}
 	for s := 0; s < in.n; s++ {
 		xd := in.data[s*d.in : (s+1)*d.in]
 		var aSum int32
@@ -56,26 +82,37 @@ func (d *qDense) forward(net *Network, in qtensor) (qtensor, []float32) {
 			aSum += int32(a)
 		}
 		sVals := vals[s*d.out : (s+1)*d.out]
+		fixed := int32(d.in)*za*zw - zw*aSum
+		if net.approxDense {
+			acc := i32(&ws.acc, d.out)
+			clear(acc)
+			lut := net.mul
+			for i, a := range xd {
+				row := (*[256]uint16)(lut[int(a)<<8:])
+				wRow := d.wT[i*d.out : (i+1)*d.out]
+				b := acc[:len(wRow)]
+				for o, wc := range wRow {
+					b[o] += int32(row[wc])
+				}
+			}
+			for o, a := range acc {
+				sVals[o] = float32(a+fixed-za*d.wSum[o])*scale + d.bias[o]
+			}
+			continue
+		}
 		for o := 0; o < d.out; o++ {
 			w := d.wCodes[o*d.in : (o+1)*d.in]
 			var acc int32
-			if net.approxDense {
-				for i, a := range xd {
-					acc += int32(lut[uint32(a)<<8|uint32(w[i])])
-				}
-			} else {
-				for i, a := range xd {
-					acc += int32(a) * int32(w[i])
-				}
+			for i, a := range xd {
+				acc += int32(a) * int32(w[i])
 			}
-			acc += int32(d.in)*za*zw - za*d.wSum[o] - zw*aSum
-			sVals[o] = float32(acc)*scale + d.bias[o]
+			sVals[o] = float32(acc+fixed-za*d.wSum[o])*scale + d.bias[o]
 		}
 	}
 	if d.last {
 		return qtensor{}, vals
 	}
-	out := qtensor{n: in.n, shape: []int{d.out}, data: make([]uint8, in.n*d.out), qp: d.outQP}
+	out := qtensor{n: in.n, shape: []int{d.out}, data: ws.nextAct(in.n * d.out), qp: d.outQP}
 	for i, v := range vals {
 		out.data[i] = d.outQP.Quantize(v)
 	}

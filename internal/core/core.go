@@ -97,9 +97,13 @@ func (o Options) cache() *Cache {
 	return defaultCache
 }
 
-// maxBatch bounds the default batch so im2col buffers stay cache- and
-// memory-friendly even on huge sample counts.
-const maxBatch = 32
+// maxBatch bounds the default batch on huge sample counts. With the
+// pooled workspace arenas in axnn (im2col/accumulator scratch is
+// checked out per call and reused across layers, samples, and grid
+// cells), the per-batch setup no longer scales with batch size, so
+// larger default batches amortise quantization passes and chunk
+// boundaries while the arena keeps memory bounded.
+const maxBatch = 64
 
 // batchSize derives the crafting batch: small enough that every worker
 // gets work, large enough to amortise the batched engine's setup.

@@ -26,6 +26,7 @@ package energy
 import (
 	"fmt"
 	"math/bits"
+	"sync"
 
 	"repro/internal/axmult"
 )
@@ -66,17 +67,23 @@ const exactDepth = 16.0
 // operands to short mantissas (DRUM, log multipliers, segment designs)
 // toggle proportionally less.
 func Estimate(name string) (Cost, error) {
+	// The behavioural instance is only probed for its structure (the
+	// type switch below); the full-space output sweep reads the
+	// registry-cached LUT table directly — one linear scan instead of
+	// 65,536 virtual Mul dispatches into the gate-level model.
 	m, err := axmult.New(name)
 	if err != nil {
 		return Cost{}, err
 	}
-	var outBits, exactBits float64
-	for a := 0; a < 256; a++ {
-		for b := 0; b < 256; b++ {
-			outBits += float64(bits.OnesCount16(m.Mul(uint8(a), uint8(b))))
-			exactBits += float64(bits.OnesCount32(uint32(a) * uint32(b)))
-		}
+	l, err := axmult.Lookup(name)
+	if err != nil {
+		return Cost{}, err
 	}
+	var outBits float64
+	for _, v := range l.Table() {
+		outBits += float64(bits.OnesCount16(v))
+	}
+	exactBits := exactOutputBits()
 	// Output toggling tracks the fraction of array kept active. The
 	// proxy is capped at 1: an approximate design performs a subset of
 	// the exact array's work even when its error pattern happens to set
@@ -103,6 +110,19 @@ func Estimate(name string) (Cost, error) {
 		Delay:  delay,
 	}, nil
 }
+
+// exactOutputBits returns the total output Hamming weight of the exact
+// multiplier over the full input space — the activity normaliser. It
+// is a pure constant of the 8x8 space, computed once.
+var exactOutputBits = sync.OnceValue(func() float64 {
+	var sum float64
+	for a := 0; a < 256; a++ {
+		for b := 0; b < 256; b++ {
+			sum += float64(bits.OnesCount32(uint32(a) * uint32(b)))
+		}
+	}
+	return sum
+})
 
 // normEnergy applies the cell-level energy discount for designs whose
 // adder cells are themselves simplified (approximate mirror adders use

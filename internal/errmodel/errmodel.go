@@ -31,8 +31,20 @@ type Metrics struct {
 	EP   float64 // error probability: fraction of inputs with any error
 }
 
-// Measure computes Metrics for m exhaustively.
+// tabler is satisfied by multipliers that cache as exhaustive tables
+// (axmult.LUT): their full-space sweep is a linear scan of the table
+// instead of 65,536 virtual Mul dispatches.
+type tabler interface {
+	Table() []uint16
+}
+
+// Measure computes Metrics for m exhaustively. Multipliers that expose
+// a compiled table (axmult.LUT — what MeasureNamed always passes) are
+// measured by scanning the table directly.
 func Measure(m axmult.Multiplier) Metrics {
+	if t, ok := m.(tabler); ok {
+		return measureTable(m.Name(), t.Table())
+	}
 	var (
 		sumAbs, sumSigned, sumSq, sumRel float64
 		wce                              float64
@@ -74,8 +86,55 @@ func Measure(m axmult.Multiplier) Metrics {
 	}
 }
 
+// measureTable computes Metrics from an exhaustive product table
+// (index a<<8|b) — identical arithmetic and accumulation order to the
+// dispatching loop in Measure, so both paths report the same figures.
+func measureTable(name string, table []uint16) Metrics {
+	var (
+		sumAbs, sumSigned, sumSq, sumRel float64
+		wce                              float64
+		errs, relN                       int
+	)
+	for a := 0; a < 256; a++ {
+		row := table[a<<8 : a<<8+256]
+		for b, got16 := range row {
+			exact := float64(a * b)
+			got := float64(got16)
+			e := got - exact
+			ae := math.Abs(e)
+			sumAbs += ae
+			sumSigned += e
+			sumSq += e * e
+			if ae > wce {
+				wce = ae
+			}
+			if ae > 0 {
+				errs++
+			}
+			if exact != 0 {
+				sumRel += ae / exact
+				relN++
+			}
+		}
+	}
+	n := float64(256 * 256)
+	mean := sumSigned / n
+	return Metrics{
+		Name: name,
+		MAE:  sumAbs / n,
+		MAEP: 100 * sumAbs / n / MaxProduct,
+		WCE:  wce,
+		WCEP: 100 * wce / MaxProduct,
+		MRE:  100 * sumRel / float64(relN),
+		Bias: mean,
+		Var:  sumSq/n - mean*mean,
+		EP:   float64(errs) / n,
+	}
+}
+
 // MeasureNamed measures the registered multiplier name via its compiled
-// LUT (so the measurement also covers the LUT path).
+// LUT (so the measurement also covers the LUT path) — served by the
+// process-wide cached table, no per-call dispatch.
 func MeasureNamed(name string) (Metrics, error) {
 	l, err := axmult.Lookup(name)
 	if err != nil {

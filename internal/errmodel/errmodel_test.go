@@ -98,3 +98,23 @@ func TestUndershootingDesigns(t *testing.T) {
 		t.Errorf("JV3 (Mitchell) bias %.2f, want negative", m.Bias)
 	}
 }
+
+// TestTablePathMatchesDispatchPath: the LUT table scan must report
+// exactly the metrics the virtual-dispatch sweep reports.
+func TestTablePathMatchesDispatchPath(t *testing.T) {
+	for _, name := range []string{"mul8u_JV3", "mul8u_L40", "mul8u_96D"} {
+		m, err := axmult.New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow := Measure(m)              // behavioural circuit: dispatch loop
+		fast, err := MeasureNamed(name) // cached LUT: table scan
+		if err != nil {
+			t.Fatal(err)
+		}
+		if slow.MAE != fast.MAE || slow.WCE != fast.WCE || slow.MRE != fast.MRE ||
+			slow.Bias != fast.Bias || slow.Var != fast.Var || slow.EP != fast.EP {
+			t.Fatalf("%s: table path diverged from dispatch path:\n%+v\n%+v", name, fast, slow)
+		}
+	}
+}

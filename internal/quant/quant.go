@@ -71,10 +71,17 @@ func (p Params) Dequantize(c uint8) float32 {
 // QuantizeSlice quantizes src into a fresh code slice.
 func (p Params) QuantizeSlice(src []float32) []uint8 {
 	out := make([]uint8, len(src))
-	for i, v := range src {
-		out[i] = p.Quantize(v)
-	}
+	p.QuantizeInto(out, src)
 	return out
+}
+
+// QuantizeInto quantizes src into dst (len(dst) must equal len(src)) —
+// the allocation-free variant used by pooled inference workspaces.
+func (p Params) QuantizeInto(dst []uint8, src []float32) {
+	_ = dst[:len(src)]
+	for i, v := range src {
+		dst[i] = p.Quantize(v)
+	}
 }
 
 // DequantizeSlice maps codes back into a fresh float slice.
