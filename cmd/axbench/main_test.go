@@ -259,3 +259,71 @@ func TestBuildPreservesPolicy(t *testing.T) {
 		t.Fatal("-update must keep MaxRel from the previous baseline")
 	}
 }
+
+// cacheOut is a WarmStoreCraft-style invocation: custom cache-* metrics
+// alongside ns/op, no kernel benches in sight.
+const cacheOut = `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkWarmStoreCraft-8   	       3	  52000000 ns/op	      3.000 cache-disk-hits	         0 cache-disk-misses	         0 cache-errors
+PASS
+`
+
+func TestParseCacheMetrics(t *testing.T) {
+	groups := mustParse(t, cacheOut)
+	runs := groups[0]
+	if got := runs["BenchmarkWarmStoreCraft@cache-disk-hits"]; got != 3 {
+		t.Fatalf("cache-disk-hits = %v, want 3", got)
+	}
+	if got, ok := runs["BenchmarkWarmStoreCraft@cache-disk-misses"]; !ok || got != 0 {
+		t.Fatalf("cache-disk-misses = %v ok=%v, want 0", got, ok)
+	}
+	// Unlike paired benches, a cache bench's plain ns/op is a real
+	// measurement and stays recorded.
+	if got := runs["BenchmarkWarmStoreCraft"]; got != 52000000 {
+		t.Fatalf("WarmStoreCraft ns/op = %v", got)
+	}
+}
+
+func TestBuildMergesUnmeasuredPrevEntries(t *testing.T) {
+	// prev holds the kernel benches; the new run measured only the cache
+	// bench. -update must keep the kernel entries verbatim and add the
+	// cache entries ungated.
+	prev, err := build(mustParse(t, sampleOut), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := build(append(mustParse(t, sampleOut), mustParse(t, cacheOut)...), prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := merged.Benchmarks[tiledPaired]; e == nil || !e.Gate || e.MaxRel == 0 {
+		t.Fatalf("kernel entry lost in merge: %+v", e)
+	}
+	hits := merged.Benchmarks["BenchmarkWarmStoreCraft@cache-disk-hits"]
+	if hits == nil || hits.Rel != 3 || hits.Gate {
+		t.Fatalf("cache entry = %+v, want ungated rel 3", hits)
+	}
+	if hits.NsPerOp != 0 {
+		t.Fatalf("synthetic cache entry must not carry ns/op: %+v", hits)
+	}
+}
+
+func TestCheckSkipsMissingUngatedEntries(t *testing.T) {
+	// Baseline contains both kernel and cache entries; the CI perf job
+	// runs only the kernels. Missing cache entries must not fail the
+	// gate — but a missing GATED entry still must.
+	full, err := build(append(mustParse(t, sampleOut), mustParse(t, cacheOut)...), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kernelsOnly := mustParse(t, sampleOut)
+	if fails := check(kernelsOnly, full, 0.10); len(fails) != 0 {
+		t.Fatalf("missing ungated entries must not fail: %v", fails)
+	}
+	full.Benchmarks["BenchmarkWarmStoreCraft@cache-disk-hits"].Gate = true
+	fails := check(kernelsOnly, full, 0.10)
+	if len(fails) != 1 || !strings.Contains(fails[0], "cache-disk-hits") {
+		t.Fatalf("missing gated entry must fail: %v", fails)
+	}
+}

@@ -18,6 +18,15 @@
 //
 // On SIGTERM/SIGINT the server stops accepting work and drains:
 // running and queued jobs get -drain to finish before being cancelled.
+//
+// With -data-dir set, the server persists across restarts: crafted
+// batches and predictions go to a size-bounded disk cache tier
+// (<dir>/cache, capped by -disk-mb), and every job's submission, event
+// stream, and finished report go to a write-ahead log (<dir>/wal). A
+// restarted server re-serves finished reports byte-identically without
+// recompute and re-enqueues jobs the previous process never finished —
+// including those force-cancelled by an expired drain — under the same
+// job IDs. Without -data-dir, nothing touches disk (today's behavior).
 package main
 
 import (
@@ -36,6 +45,7 @@ import (
 	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/service"
+	"repro/internal/store"
 )
 
 func main() {
@@ -46,6 +56,8 @@ func main() {
 	retain := flag.Int("retain", 0, "finished jobs retained for dedup/replay (0 = default 1024)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown drain timeout")
 	debugAddr := flag.String("debug-addr", "", "pprof listen address, e.g. 127.0.0.1:6060 (empty = disabled)")
+	dataDir := flag.String("data-dir", "", "persistence root: disk cache tier + write-ahead job log (empty = memory only)")
+	diskMB := flag.Int64("disk-mb", 512, "disk cache tier retention bound in MiB (with -data-dir)")
 	flag.Parse()
 
 	if *debugAddr != "" {
@@ -76,11 +88,38 @@ func main() {
 		// CraftBudget counts float32 elements, not bytes.
 		cfg.CraftBudget = *cacheMB << 20 / 4
 	}
+	var wal *store.Store
+	if *dataDir != "" {
+		if *diskMB <= 0 {
+			cli.Fail("axserve", fmt.Errorf("non-positive -disk-mb %d", *diskMB))
+		}
+		// Two stores, two durability contracts: the cache tier is a
+		// size-bounded best-effort artifact cache (async writes, oldest
+		// segments GCed); the WAL is the job-correctness record (synced
+		// writes, unbounded — its growth is bounded by -retain eviction
+		// and suite sizes, not by dropping records a resume might need).
+		diskCache, err := store.Open(store.Options{
+			Dir:      *dataDir + "/cache",
+			MaxBytes: *diskMB << 20,
+		})
+		if err != nil {
+			cli.Fail("axserve", err)
+		}
+		defer diskCache.Close()
+		cfg.Disk = diskCache
+		wal, err = store.Open(store.Options{Dir: *dataDir + "/wal", Sync: true})
+		if err != nil {
+			cli.Fail("axserve", err)
+		}
+		defer wal.Close()
+		log.Printf("axserve: persisting to %s (cache bound %d MiB)", *dataDir, *diskMB)
+	}
 	m := service.NewManager(service.Config{
 		Workers:    *jobs,
 		QueueDepth: *queue,
 		Cache:      core.NewCache(cfg),
 		MaxJobs:    *retain,
+		Log:        wal,
 	})
 	srv := &http.Server{Addr: *addr, Handler: service.NewHandler(m)}
 

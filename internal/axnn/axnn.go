@@ -29,7 +29,10 @@
 package axnn
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
+	"math"
 	"sync"
 
 	"repro/internal/axmult"
@@ -69,6 +72,7 @@ type Network struct {
 	mul         []uint16 // active LUT table, index a<<8|w
 	mulT        []uint16 // transposed table, index w<<8|a (weight-major rows)
 	mulID       string
+	cfgKey      string // compile-time identity sans multiplier; see ModelKey
 	inQP        quant.Params
 	approxDense bool
 	noZP        bool
@@ -137,6 +141,7 @@ func Compile(n *nn.Network, calib []*tensor.T, opts Options) (*Network, error) {
 
 	q := &Network{
 		Name:        n.Name,
+		cfgKey:      configKey(n, calib, opts),
 		inQP:        quant.Calibrate(inMin, inMax, bits),
 		approxDense: opts.ApproxDense,
 		noZP:        opts.NoZeroPointCorrection,
@@ -204,6 +209,40 @@ func Compile(n *nn.Network, calib []*tensor.T, opts Options) (*Network, error) {
 	}
 	return q, nil
 }
+
+// configKey captures everything that determines a compiled network's
+// behavior apart from the (swappable) multiplier: source weights,
+// calibration content, code width, and the dense/zero-point switches.
+// Two processes that Compile from the same inputs derive the same key,
+// which is what lets a persistent prediction cache outlive the process
+// (see ModelKey).
+func configKey(n *nn.Network, calib []*tensor.T, opts Options) string {
+	h := fnv.New64a()
+	var w [4]byte
+	for _, x := range calib {
+		for _, d := range x.Shape {
+			binary.LittleEndian.PutUint32(w[:], uint32(d))
+			h.Write(w[:])
+		}
+		for _, v := range x.Data {
+			binary.LittleEndian.PutUint32(w[:], math.Float32bits(v))
+			h.Write(w[:])
+		}
+	}
+	bits := opts.Bits
+	if bits == 0 {
+		bits = 8 // quant.Calibrate's default width
+	}
+	return fmt.Sprintf("axnn/v1|src=%s:%016x|calib=%d:%016x|bits=%d|ad=%t|nozp=%t",
+		n.Name, n.WeightsFingerprint(), len(calib), h.Sum64(), bits, opts.ApproxDense, opts.NoZeroPointCorrection)
+}
+
+// ModelKey is the network's stable content identity: the compile-time
+// configKey plus the active multiplier. It satisfies core's ModelKeyer,
+// so prediction memos key on configuration rather than pointer
+// identity — equal-config networks share entries in-process, and a
+// persistent cache tier can serve predictions across restarts.
+func (q *Network) ModelKey() string { return q.cfgKey + "|mul=" + q.mulID }
 
 func volOf(shape []int) int {
 	v := 1

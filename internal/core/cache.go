@@ -11,6 +11,7 @@ import (
 	"repro/internal/attack"
 	"repro/internal/dataset"
 	"repro/internal/nn"
+	"repro/internal/store"
 	"repro/internal/tensor"
 )
 
@@ -27,6 +28,14 @@ type CacheConfig struct {
 	// victim models, which must not accumulate forever in processes
 	// that keep compiling fresh victims over small sample sets.
 	PredMax int64
+	// Disk adds an optional persistent tier under the in-memory one: a
+	// memory miss probes the store by the artifact's stable
+	// content-addressed key (see diskcodec.go) before recomputing, and
+	// freshly computed artifacts are written through. A cold process
+	// over a warm store therefore serves a repeated suite with zero
+	// re-crafting. nil (the default) keeps the cache memory-only with
+	// exactly the previous behavior.
+	Disk *store.Store
 }
 
 const (
@@ -52,6 +61,10 @@ type Cache struct {
 	predCount   atomic.Int64
 	craftBudget int64
 	predMax     int64
+	// disk is the optional persistent tier (CacheConfig.Disk): probed
+	// on memory misses, written through on computes. Store failures
+	// degrade to recomputes, never to errors on the evaluation path.
+	disk *store.Store
 
 	// Lifetime counters behind Stats. They are monotone: Clear and the
 	// budget evictions drop entries but never reset the counters, so
@@ -62,6 +75,16 @@ type Cache struct {
 	predMisses     atomic.Int64
 	craftEvictions atomic.Int64
 	predEvictions  atomic.Int64
+
+	// Disk-tier counters. diskCraft/diskPred hits and misses partition
+	// the memory misses that went on to probe the store; diskErrors
+	// counts store writes that failed and stored values that would not
+	// decode (both degrade to recomputes).
+	diskCraftHits   atomic.Int64
+	diskCraftMisses atomic.Int64
+	diskPredHits    atomic.Int64
+	diskPredMisses  atomic.Int64
+	diskErrors      atomic.Int64
 }
 
 // CacheStats is a point-in-time snapshot of a cache's counters — the
@@ -90,28 +113,63 @@ type CacheStats struct {
 	// CraftBytes is the memory currently retained by crafted batches
 	// (float32 payload, excluding keys and map overhead).
 	CraftBytes int64
+
+	// Disk-tier counters; all zero on a memory-only cache. DiskCraft* /
+	// DiskPred* partition the memory misses that probed the persistent
+	// store: a disk hit is an artifact served with zero recompute, a
+	// disk miss went on to the compute path. DiskErrors counts failed
+	// store writes and undecodable stored values (both degrade to
+	// recomputes).
+	DiskCraftHits   int64
+	DiskCraftMisses int64
+	DiskPredHits    int64
+	DiskPredMisses  int64
+	DiskErrors      int64
+	// Store-level counters surfaced from the backing store.Store:
+	// bloom-admission rejects (cold-key lookups answered without a
+	// probe), records dropped by size-bounded segment GC, corrupt
+	// records skipped on open/read, and the live key/byte footprint.
+	DiskAdmissionRejects int64
+	DiskGCEvictions      int64
+	DiskCorruptRecords   int64
+	DiskKeys             int64
+	DiskBytes            int64
 }
 
 // Stats snapshots the cache's counters. Safe for concurrent use; the
 // snapshot is internally consistent only field by field (counters are
 // read independently), which is all a metrics scrape needs.
 func (c *Cache) Stats() CacheStats {
-	return CacheStats{
-		CraftHits:      c.craftHits.Load(),
-		CraftMisses:    c.craftMisses.Load(),
-		PredHits:       c.predHits.Load(),
-		PredMisses:     c.predMisses.Load(),
-		CraftEvictions: c.craftEvictions.Load(),
-		PredEvictions:  c.predEvictions.Load(),
-		CraftEntries:   int64(c.CraftedLen()),
-		PredEntries:    c.predCount.Load(),
-		CraftBytes:     c.craftSize.Load() * 4, // float32 elements
+	s := CacheStats{
+		CraftHits:       c.craftHits.Load(),
+		CraftMisses:     c.craftMisses.Load(),
+		PredHits:        c.predHits.Load(),
+		PredMisses:      c.predMisses.Load(),
+		CraftEvictions:  c.craftEvictions.Load(),
+		PredEvictions:   c.predEvictions.Load(),
+		CraftEntries:    int64(c.CraftedLen()),
+		PredEntries:     c.predCount.Load(),
+		CraftBytes:      c.craftSize.Load() * 4, // float32 elements
+		DiskCraftHits:   c.diskCraftHits.Load(),
+		DiskCraftMisses: c.diskCraftMisses.Load(),
+		DiskPredHits:    c.diskPredHits.Load(),
+		DiskPredMisses:  c.diskPredMisses.Load(),
+		DiskErrors:      c.diskErrors.Load(),
 	}
+	if c.disk != nil {
+		ds := c.disk.Stats()
+		s.DiskAdmissionRejects = ds.BloomRejects
+		s.DiskGCEvictions = ds.GCEvictedRecords
+		s.DiskCorruptRecords = ds.CorruptRecords
+		s.DiskKeys = ds.Keys
+		s.DiskBytes = ds.DiskBytes
+	}
+	return s
 }
 
 // NewCache returns an empty cache with the given retention bounds.
 func NewCache(cfg CacheConfig) *Cache {
-	c := &Cache{craftBudget: cfg.CraftBudget, predMax: cfg.PredMax}
+	c := &Cache{craftBudget: cfg.CraftBudget, predMax: cfg.PredMax, disk: cfg.Disk}
 	if c.craftBudget <= 0 {
 		c.craftBudget = defaultCraftBudget
 	}
@@ -206,6 +264,47 @@ func (c *Cache) storePreds(key predKey, preds []int) {
 	}
 }
 
+// diskCraftProbe asks the persistent tier for one crafted batch,
+// validating the decoded shape against what the compute path would
+// produce. A stored value that will not decode or has the wrong shape
+// counts a disk error and degrades to a recompute.
+func (c *Cache) diskCraftProbe(dkey string, want []int) (*tensor.T, bool) {
+	val, ok := c.disk.Get(dkey)
+	if !ok {
+		c.diskCraftMisses.Add(1)
+		return nil, false
+	}
+	t, err := decodeTensor(val)
+	if err != nil || !shapeEq(t.Shape, want) {
+		c.diskErrors.Add(1)
+		c.diskCraftMisses.Add(1)
+		return nil, false
+	}
+	c.diskCraftHits.Add(1)
+	return t, true
+}
+
+// diskPut writes one freshly computed artifact through to the
+// persistent tier. Failures count a disk error and are otherwise
+// ignored: the evaluation path never fails on persistence.
+func (c *Cache) diskPut(dkey string, val []byte) {
+	if err := c.disk.Put(dkey, val); err != nil {
+		c.diskErrors.Add(1)
+	}
+}
+
+func shapeEq(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // CraftedBatch returns the [N, sampleShape...] adversarial batch for
 // one (attack, eps) cell, crafting it in parallel batches on first
 // use and serving the memo afterwards. hit reports whether the batch
@@ -236,6 +335,16 @@ func (c *Cache) CraftedBatch(ctx context.Context, src *nn.Network, test *dataset
 	if err := ctx.Err(); err != nil {
 		return nil, false, err
 	}
+	var dkey string
+	if c.disk != nil {
+		dkey = craftDiskKey(src, test, key.attack, epsQ, opts.Seed)
+		want := append([]int{test.Len()}, test.X[0].Shape...)
+		if t, ok := c.diskCraftProbe(dkey, want); ok {
+			// A disk hit is an artifact served with zero recompute, which
+			// is what hit means to callers (CellTiming.CacheHit, events).
+			return c.storeCrafted(key, t), true, nil
+		}
+	}
 
 	if sa, ok := atk.(attack.SetAttack); ok {
 		// Set-level attacks (UAP) craft one image-agnostic perturbation
@@ -250,7 +359,11 @@ func (c *Cache) CraftedBatch(ctx context.Context, src *nn.Network, test *dataset
 		if err := ctx.Err(); err != nil {
 			return nil, false, err
 		}
-		return c.storeCrafted(key, out), false, nil
+		kept := c.storeCrafted(key, out)
+		if dkey != "" {
+			c.diskPut(dkey, encodeTensor(kept))
+		}
+		return kept, false, nil
 	}
 
 	n := test.Len()
@@ -272,7 +385,11 @@ func (c *Cache) CraftedBatch(ctx context.Context, src *nn.Network, test *dataset
 		// Partial batches must never be memoised.
 		return nil, false, err
 	}
-	return c.storeCrafted(key, out), false, nil
+	kept := c.storeCrafted(key, out)
+	if dkey != "" {
+		c.diskPut(dkey, encodeTensor(kept))
+	}
+	return kept, false, nil
 }
 
 // cleanBatch returns the memoised stacked clean inputs — the eps=0
@@ -311,6 +428,24 @@ func (c *Cache) Predictions(ctx context.Context, m attack.Model, adv *tensor.T, 
 	if err := ctx.Err(); err != nil {
 		return nil, false, err
 	}
+	var dkey string
+	if c.disk != nil {
+		// Models without a stable content identity (no ModelKey or
+		// weights fingerprint) stay memory-tier only.
+		if dk, ok := predDiskKey(m, adv); ok {
+			dkey = dk
+			if val, found := c.disk.Get(dkey); !found {
+				c.diskPredMisses.Add(1)
+			} else if ps, err := decodePreds(val); err != nil || len(ps) != adv.Rows() {
+				c.diskErrors.Add(1)
+				c.diskPredMisses.Add(1)
+			} else {
+				c.diskPredHits.Add(1)
+				c.storePreds(key, ps)
+				return ps, true, nil
+			}
+		}
+	}
 	n := adv.Rows()
 	preds = make([]int, n)
 	bm, batched := m.(attack.BatchModel)
@@ -327,6 +462,9 @@ func (c *Cache) Predictions(ctx context.Context, m attack.Model, adv *tensor.T, 
 		return nil, false, err
 	}
 	c.storePreds(key, preds)
+	if dkey != "" {
+		c.diskPut(dkey, encodePreds(preds))
+	}
 	return preds, false, nil
 }
 

@@ -144,6 +144,47 @@ func TestReportGoldenRoundTrip(t *testing.T) {
 	}
 }
 
+// TestReportReencodeByteIdentical pins the stability property the
+// service's write-ahead log leans on: any report, awkward floats
+// included, decodes through ReadReport and re-encodes through
+// WriteJSON / WriteCSV byte for byte. That is what lets a restarted
+// server re-serve a persisted report identically to the process that
+// computed it (Go's shortest-representation float encoding is exact
+// over a decode/encode cycle).
+func TestReportReencodeByteIdentical(t *testing.T) {
+	r := sampleReport()
+	r.CleanAcc = 100.0 / 3.0
+	r.Grids[0].Acc[1][0] = 200.0 / 3.0
+	r.Grids[0].Eps[1] = 0.30000000000000004 // 3*0.1: classic non-representable sum
+	r.Cells[1].ElapsedMS = 12.000000000000002
+
+	var first bytes.Buffer
+	if err := r.WriteJSON(&first); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadReport(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var second bytes.Buffer
+	if err := back.WriteJSON(&second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatalf("JSON re-encode drifted:\n--- first ---\n%s--- second ---\n%s", first.Bytes(), second.Bytes())
+	}
+	var csvA, csvB bytes.Buffer
+	if err := r.WriteCSV(&csvA); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.WriteCSV(&csvB); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(csvA.Bytes(), csvB.Bytes()) {
+		t.Fatalf("CSV re-encode drifted:\n--- first ---\n%s--- second ---\n%s", csvA.Bytes(), csvB.Bytes())
+	}
+}
+
 func TestReadReportRejectsGarbage(t *testing.T) {
 	if _, err := ReadReport(strings.NewReader("{")); err == nil {
 		t.Fatal("truncated JSON must fail")

@@ -193,6 +193,14 @@ func writeMetrics(w http.ResponseWriter, m *Manager) {
 		{"axserve_cache_pred_misses_total", "Victim-prediction cache misses.", st.PredMisses},
 		{"axserve_cache_craft_evictions_total", "Crafted-batch epoch evictions.", st.CraftEvictions},
 		{"axserve_cache_pred_evictions_total", "Prediction epoch evictions.", st.PredEvictions},
+		{"axserve_cache_disk_craft_hits_total", "Crafted batches served from the persistent tier.", st.DiskCraftHits},
+		{"axserve_cache_disk_craft_misses_total", "Crafted-batch probes the persistent tier missed.", st.DiskCraftMisses},
+		{"axserve_cache_disk_pred_hits_total", "Predictions served from the persistent tier.", st.DiskPredHits},
+		{"axserve_cache_disk_pred_misses_total", "Prediction probes the persistent tier missed.", st.DiskPredMisses},
+		{"axserve_cache_disk_errors_total", "Persistent-tier failures degraded to recomputes.", st.DiskErrors},
+		{"axserve_store_admission_rejects_total", "Cold-key lookups rejected by the bloom filter without a disk probe.", st.DiskAdmissionRejects},
+		{"axserve_store_gc_evicted_records_total", "Records dropped by size-bounded segment GC.", st.DiskGCEvictions},
+		{"axserve_store_corrupt_records_total", "Corrupt records skipped by the store.", st.DiskCorruptRecords},
 	}
 	for _, c := range counters {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.value)
@@ -204,6 +212,8 @@ func writeMetrics(w http.ResponseWriter, m *Manager) {
 		{"axserve_cache_craft_entries", "Crafted batches currently retained.", st.CraftEntries},
 		{"axserve_cache_pred_entries", "Prediction memos currently retained.", st.PredEntries},
 		{"axserve_cache_craft_bytes", "Bytes retained by crafted batches.", st.CraftBytes},
+		{"axserve_store_keys", "Live keys in the persistent cache store.", st.DiskKeys},
+		{"axserve_store_bytes", "Bytes on disk in the persistent cache store.", st.DiskBytes},
 	}
 	for _, g := range gauges {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", g.name, g.help, g.name, g.name, g.value)

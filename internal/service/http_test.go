@@ -240,6 +240,14 @@ func TestHTTPHealthAndMetrics(t *testing.T) {
 		"axserve_cache_pred_misses_total",
 		"axserve_cache_craft_evictions_total",
 		"axserve_cache_craft_bytes",
+		"axserve_cache_disk_craft_hits_total",
+		"axserve_cache_disk_pred_hits_total",
+		"axserve_cache_disk_errors_total",
+		"axserve_store_admission_rejects_total",
+		"axserve_store_gc_evicted_records_total",
+		"axserve_store_corrupt_records_total",
+		"axserve_store_keys",
+		"axserve_store_bytes",
 		`axserve_jobs{state="done"} 1`,
 	} {
 		if !strings.Contains(metrics, want) {
@@ -250,5 +258,10 @@ func TestHTTPHealthAndMetrics(t *testing.T) {
 	// shared): misses are visible to scrapers.
 	if !strings.Contains(metrics, "axserve_cache_craft_misses_total 3") {
 		t.Fatalf("metrics miss counter wrong:\n%s", metrics)
+	}
+	// This manager runs memory-only: the disk tier counters must exist
+	// for scrapers but stay pinned at zero.
+	if !strings.Contains(metrics, "axserve_cache_disk_craft_misses_total 0") {
+		t.Fatalf("memory-only manager has nonzero disk counters:\n%s", metrics)
 	}
 }

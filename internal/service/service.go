@@ -15,6 +15,7 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
@@ -26,6 +27,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiment"
 	"repro/internal/modelzoo"
+	"repro/internal/store"
 )
 
 // State is a job's lifecycle phase.
@@ -76,6 +78,14 @@ type Config struct {
 	// dropped. Eviction also bounds the dedup window: resubmitting an
 	// evicted spec recomputes it under the same content-derived ID.
 	MaxJobs int
+	// Log is the optional write-ahead job log (see wal.go): every
+	// submission, event, and outcome is persisted, and NewManager
+	// replays the store on startup — finished jobs are re-served
+	// without recompute, unfinished ones re-enqueue under the same
+	// JobID. nil (the default) keeps jobs in memory only, exactly the
+	// previous behavior. The manager does not own the store; callers
+	// close it after Close returns.
+	Log *store.Store
 }
 
 // JobStatus is the observable snapshot of a job.
@@ -112,10 +122,14 @@ type job struct {
 	report    *experiment.Report
 	err       error
 	cancelReq bool
+	shutdown  bool               // cancellation came from Close, not the owner
 	cancel    context.CancelFunc // set while running
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
+	// wal mirrors the log and terminal state to the persistent job log;
+	// nil on a memory-only manager (every write is a nil-receiver no-op).
+	wal *jobLog
 
 	done chan struct{} // closed when state turns terminal
 }
@@ -155,6 +169,7 @@ func (j *job) record(ev experiment.Event) {
 		j.cellsDone++
 	}
 	j.log = append(j.log, ev)
+	j.wal.putEvent(ev)
 	j.cond.Broadcast()
 	j.mu.Unlock()
 }
@@ -178,6 +193,28 @@ func (j *job) finishLocked(state State, elapsed time.Duration, err error) {
 		ev.Err = err.Error()
 	}
 	j.log = append(j.log, ev)
+	j.wal.putEvent(ev)
+	st := walState{
+		State:     state,
+		Submitted: j.submitted,
+		Started:   j.started,
+		Finished:  j.finished,
+		CellsDone: j.cellsDone,
+		// A shutdown-forced cancellation is not the owner's decision:
+		// mark it resumable so a restart re-enqueues the job instead of
+		// honoring a cancel nobody requested.
+		Resumable: state == StateCancelled && j.shutdown,
+	}
+	if err != nil {
+		st.Error = err.Error()
+	}
+	if state == StateDone && j.report != nil {
+		var buf bytes.Buffer
+		if j.report.WriteJSON(&buf) == nil {
+			st.ReportJSON = buf.Bytes()
+		}
+	}
+	j.wal.putState(st)
 	j.cond.Broadcast()
 	close(j.done)
 }
@@ -188,6 +225,7 @@ type Manager struct {
 	cache       *core.Cache
 	modelSource func(context.Context, string) (*modelzoo.Model, error)
 	maxJobs     int
+	log         *store.Store // nil = memory-only
 
 	mu     sync.Mutex
 	jobs   map[string]*job
@@ -215,14 +253,76 @@ func NewManager(cfg Config) *Manager {
 		cache:       cfg.Cache,
 		modelSource: cfg.ModelSource,
 		maxJobs:     cfg.MaxJobs,
+		log:         cfg.Log,
 		jobs:        make(map[string]*job),
-		queue:       make(chan *job, cfg.QueueDepth),
 	}
+	// Replay the write-ahead log before the workers start: restored
+	// terminal jobs are served from memory again, and jobs the previous
+	// process never finished are re-enqueued ahead of any new
+	// submissions. The queue is sized to fit every resumed job even
+	// when that exceeds QueueDepth — resuming must not fail.
+	var resume []*job
+	if m.log != nil {
+		var restored []*job
+		restored, resume = m.replay()
+		for _, j := range restored {
+			m.jobs[j.id] = j
+			m.order = append(m.order, j.id)
+		}
+	}
+	depth := cfg.QueueDepth
+	if len(resume) > depth {
+		depth = len(resume)
+	}
+	m.queue = make(chan *job, depth)
+	for _, j := range resume {
+		m.jobs[j.id] = j
+		m.order = append(m.order, j.id)
+		m.queue <- j
+	}
+	m.evictLocked()
 	for i := 0; i < cfg.Workers; i++ {
 		m.wg.Add(1)
 		go m.worker()
 	}
 	return m
+}
+
+// replay rebuilds the job table from the write-ahead log: jobs that
+// reached a terminal state on their own come back restored (event log,
+// report, timestamps); jobs that did not — still queued/running when
+// the process died, or force-cancelled by a drain-expired Close — come
+// back as fresh queued jobs under the same ID, in submission order.
+// Unparseable jobs are dropped: a torn log degrades to recompute on
+// resubmission, never to a failed startup.
+func (m *Manager) replay() (restored, resume []*job) {
+	for _, w := range replayWAL(m.log) {
+		st := w.state
+		if st.State.Terminal() && !(st.State == StateCancelled && st.Resumable) {
+			j, err := w.restore(m.log)
+			if err != nil {
+				continue
+			}
+			restored = append(restored, j)
+			continue
+		}
+		spec, err := experiment.Parse(w.spec)
+		if err != nil {
+			continue
+		}
+		j := &job{
+			id:        w.id,
+			spec:      spec,
+			state:     StateQueued,
+			submitted: st.Submitted, // keep the original submission order
+			done:      make(chan struct{}),
+		}
+		j.cond = sync.NewCond(&j.mu)
+		j.wal = newJobLog(m.log, w.id)
+		j.wal.putState(walState{State: StateQueued, Submitted: j.submitted})
+		resume = append(resume, j)
+	}
+	return restored, resume
 }
 
 // Cache exposes the shared cache, chiefly for the /metrics scrape.
@@ -299,9 +399,22 @@ func (m *Manager) Submit(spec *experiment.Spec) (id string, created bool, err er
 		done:      make(chan struct{}),
 	}
 	j.cond = sync.NewCond(&j.mu)
+	// Journal before publishing: the queue send is what hands the job
+	// to a worker, and the worker appends events through j.wal, so the
+	// log (and its queued commit record) must exist first — anything
+	// later races, and a later queued record could supersede a fast
+	// job's terminal one.
+	if m.log != nil {
+		j.wal = newJobLog(m.log, id)
+		j.wal.putSpec(canonical)
+		j.wal.putState(walState{State: StateQueued, Submitted: j.submitted})
+	}
 	select {
 	case m.queue <- j:
 	default:
+		// The journaled submission was never admitted; tombstone it so
+		// a restart doesn't resurrect a job the caller was refused.
+		j.wal.putState(walState{State: StateCancelled, Submitted: j.submitted, Error: ErrQueueFull.Error()})
 		return "", false, ErrQueueFull
 	}
 	m.jobs[id] = j
@@ -559,9 +672,18 @@ func (m *Manager) Close(ctx context.Context) error {
 	case <-ctx.Done():
 	}
 	// Forced drain: cancel everything still moving, then wait for the
-	// workers to observe it.
+	// workers to observe it. Each job is marked shutdown first so its
+	// terminal cancelled record reads as resumable — the restart
+	// re-enqueues it rather than honoring a cancel nobody requested —
+	// and so replayed logs always end in a terminal state (the engine's
+	// unwind still appends the SuiteFinished event before Close returns).
 	for _, st := range m.List() {
 		if !st.State.Terminal() {
+			if j, err := m.lookup(st.ID); err == nil {
+				j.mu.Lock()
+				j.shutdown = true
+				j.mu.Unlock()
+			}
 			m.Cancel(st.ID)
 		}
 	}

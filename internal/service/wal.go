@@ -1,0 +1,237 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/experiment"
+	"repro/internal/store"
+)
+
+// Write-ahead job log. When Config.Log is set, the manager persists
+// each job's submission, event stream, and outcome to the store under
+// content-addressed keys, and NewManager replays the log on startup:
+// finished jobs come back with their full event history and report
+// (re-served byte-identically, without recompute), while jobs the
+// previous process never finished — killed mid-run, or force-cancelled
+// by a drain-expired Close — are re-enqueued under the same JobID.
+//
+// Key scheme (one logical record per key; the store's append-only
+// segments keep every version, the index serves the last write):
+//
+//	job/<id>/spec          canonical experiment.Spec encoding
+//	job/<id>/ev/<gen>/<n>  event n of attempt <gen>, JSON wire schema
+//	job/<id>/state         walState JSON — the commit record
+//
+// A "generation" is one execution attempt, stamped from the submission
+// clock. Re-running a job (crash resume, resubmit after failure) opens
+// a new generation, so stale events from a longer earlier attempt can
+// never interleave into a shorter re-run's log: replay only loads the
+// events of the generation named by the final state record.
+//
+// The report is NOT a separate record: walState carries the exact
+// WriteJSON bytes, so a restarted server re-serves what the original
+// run would have sent. Report encoding round-trips byte-identically
+// (pinned by the experiment report tests), so re-encoding the decoded
+// report — as the HTTP facade does — yields the same bytes.
+
+// walPrefix roots every job-log key, keeping the WAL keyspace disjoint
+// from the cache tier's craft/pred keys even if both point at one store.
+const walPrefix = "job/"
+
+// walState is the per-job commit record. Every submission writes one
+// (queued); every terminal transition supersedes it. Replay trusts the
+// last write.
+type walState struct {
+	State     State     `json:"state"`
+	Gen       int64     `json:"gen"`
+	Submitted time.Time `json:"submitted"`
+	Started   time.Time `json:"started,omitzero"`
+	Finished  time.Time `json:"finished,omitzero"`
+	CellsDone int       `json:"cells_done,omitempty"`
+	Error     string    `json:"error,omitempty"`
+	// Resumable marks a cancellation the job's owner never asked for —
+	// a drain-expired shutdown — so restart re-enqueues it instead of
+	// honoring the cancel.
+	Resumable bool `json:"resumable,omitempty"`
+	// ReportJSON is the finished report's exact WriteJSON bytes
+	// (StateDone only).
+	ReportJSON json.RawMessage `json:"report,omitempty"`
+}
+
+// jobLog appends one job's records to the shared store. A nil *jobLog
+// is valid and drops every write — the memory-only manager pays one
+// nil check per event and nothing else. Writes happen under the
+// owning job's mutex, which orders the event sequence numbers.
+type jobLog struct {
+	s   *store.Store
+	id  string
+	gen int64
+	seq int
+}
+
+// newJobLog opens a fresh generation of one job's log. Generations are
+// stamped from the wall clock, so a re-run (crash resume, resubmit
+// after failure) can never collide with an earlier attempt's event
+// keys.
+func newJobLog(s *store.Store, id string) *jobLog {
+	return &jobLog{s: s, id: id, gen: time.Now().UnixNano()}
+}
+
+func (w *jobLog) key(parts ...string) string {
+	return walPrefix + w.id + "/" + strings.Join(parts, "/")
+}
+
+// putSpec persists the canonical spec encoding once per job ID.
+func (w *jobLog) putSpec(canonical []byte) {
+	if w == nil {
+		return
+	}
+	w.s.Put(w.key("spec"), canonical)
+}
+
+// putEvent appends one event to the current generation.
+func (w *jobLog) putEvent(ev experiment.Event) {
+	if w == nil {
+		return
+	}
+	raw, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	w.s.Put(w.key("ev", fmt.Sprintf("%016x", w.gen), fmt.Sprintf("%08d", w.seq)), raw)
+	w.seq++
+}
+
+// putState supersedes the job's commit record.
+func (w *jobLog) putState(st walState) {
+	if w == nil {
+		return
+	}
+	st.Gen = w.gen
+	raw, err := json.Marshal(st)
+	if err != nil {
+		return
+	}
+	w.s.Put(w.key("state"), raw)
+}
+
+// walJob is one job reassembled from a log scan.
+type walJob struct {
+	id     string
+	spec   []byte
+	state  *walState
+	events map[int64]map[int][]byte // gen -> seq -> wire bytes
+}
+
+// replayWAL scans the store and rebuilds the job table. Records that
+// fail to parse are skipped — a WAL that lost its tail to a crash
+// degrades to recomputing the affected job, never to a failed startup.
+func replayWAL(s *store.Store) []*walJob {
+	byID := map[string]*walJob{}
+	get := func(id string) *walJob {
+		w := byID[id]
+		if w == nil {
+			w = &walJob{id: id, events: map[int64]map[int][]byte{}}
+			byID[id] = w
+		}
+		return w
+	}
+	s.Scan(func(key string, val []byte) error {
+		if !strings.HasPrefix(key, walPrefix) {
+			return nil
+		}
+		parts := strings.Split(key[len(walPrefix):], "/")
+		switch {
+		case len(parts) == 2 && parts[1] == "spec":
+			get(parts[0]).spec = append([]byte(nil), val...)
+		case len(parts) == 2 && parts[1] == "state":
+			var st walState
+			if json.Unmarshal(val, &st) == nil {
+				get(parts[0]).state = &st
+			}
+		case len(parts) == 4 && parts[1] == "ev":
+			gen, err1 := strconv.ParseInt(parts[2], 16, 64)
+			seq, err2 := strconv.Atoi(parts[3])
+			if err1 != nil || err2 != nil {
+				return nil
+			}
+			w := get(parts[0])
+			if w.events[gen] == nil {
+				w.events[gen] = map[int][]byte{}
+			}
+			w.events[gen][seq] = append([]byte(nil), val...)
+		}
+		return nil
+	})
+	out := make([]*walJob, 0, len(byID))
+	for _, w := range byID {
+		if w.spec == nil || w.state == nil {
+			continue // torn submission: nothing actionable survived
+		}
+		out = append(out, w)
+	}
+	// Submission order, as List and eviction expect.
+	sort.Slice(out, func(i, k int) bool {
+		a, b := out[i].state, out[k].state
+		if !a.Submitted.Equal(b.Submitted) {
+			return a.Submitted.Before(b.Submitted)
+		}
+		return out[i].id < out[k].id
+	})
+	return out
+}
+
+// restore turns a replayed terminal WAL job back into a live job
+// record: full event log, decoded report, closed done channel.
+func (w *walJob) restore(log *store.Store) (*job, error) {
+	spec, err := experiment.Parse(w.spec)
+	if err != nil {
+		return nil, err
+	}
+	st := w.state
+	j := &job{
+		id:        w.id,
+		spec:      spec,
+		state:     st.State,
+		cellsDone: st.CellsDone,
+		submitted: st.Submitted,
+		started:   st.Started,
+		finished:  st.Finished,
+		done:      make(chan struct{}),
+	}
+	j.cond = sync.NewCond(&j.mu)
+	j.wal = &jobLog{s: log, id: w.id, gen: st.Gen}
+	if st.Error != "" {
+		j.err = errors.New(st.Error)
+	}
+	seqs := make([]int, 0, len(w.events[st.Gen]))
+	for seq := range w.events[st.Gen] {
+		seqs = append(seqs, seq)
+	}
+	sort.Ints(seqs)
+	for _, seq := range seqs {
+		var ev experiment.Event
+		if err := json.Unmarshal(w.events[st.Gen][seq], &ev); err != nil {
+			continue
+		}
+		j.log = append(j.log, ev)
+	}
+	j.wal.seq = len(j.log)
+	if st.State == StateDone {
+		rep, err := experiment.ReadReport(bytes.NewReader(st.ReportJSON))
+		if err != nil {
+			return nil, err
+		}
+		j.report = rep
+	}
+	close(j.done)
+	return j, nil
+}
