@@ -32,6 +32,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/energy"
 	"repro/internal/errmodel"
+	"repro/internal/experiment"
 	"repro/internal/models"
 	"repro/internal/modelzoo"
 	"repro/internal/store"
@@ -804,4 +805,53 @@ func BenchmarkWarmStoreCraft(b *testing.B) {
 	b.ReportMetric(float64(hits)/n, "cache-disk-hits")
 	b.ReportMetric(float64(misses)/n, "cache-disk-misses")
 	b.ReportMetric(float64(errs)/n, "cache-errors")
+}
+
+// BenchmarkPlanExecutorVsSerial measures the cell-graph scheduler's
+// win: the full 14-attack x 4-eps suite on the parallel local executor
+// (4 workers) against the serial path, interleaved round by round via
+// pairedRel so the ratio is load-robust. Fresh engines (and so fresh
+// caches) per run keep every round crafting from scratch; Spec.Workers
+// is pinned to 1 so within-cell crafting parallelism does not mask the
+// scheduler's contribution. The paired-rel entry is recorded ungated
+// in BENCH_axnn.json — the parallel ratio depends on the host's core
+// count:
+//
+//	go test -run '^$' -bench 'PlanExecutorVsSerial' -benchtime 1x -count=3 . |
+//	go run ./cmd/axbench -update BENCH_axnn.json
+func BenchmarkPlanExecutorVsSerial(b *testing.B) {
+	tr := dataset.Digits(600, 61)
+	test := dataset.Digits(64, 62)
+	net := models.FFNN(28*28, 10, 63)
+	net.Name = "bench-plan-exec"
+	train.Fit(net, tr, train.Config{Epochs: 1, Batch: 32, LR: 0.05, Momentum: 0.9, Seed: 2})
+	zoo := &modelzoo.Model{Net: net, Train: tr, Test: test, CleanAcc: 100 * train.Accuracy(net, test, 0)}
+	src := func(ctx context.Context, name string) (*modelzoo.Model, error) { return zoo, nil }
+
+	spec := &experiment.Spec{
+		Name:        "bench-plan-exec",
+		Model:       "bench-plan-exec",
+		Multipliers: []string{"mul8u_1JFF", "mul8u_JV3"},
+		Attacks:     attack.Names(),
+		Eps:         []float64{0, 0.05, 0.1, 0.2},
+		Samples:     24,
+		Seed:        7,
+		Workers:     1,
+	}
+	if err := spec.Validate(); err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	runSuite := func(parallel int) {
+		eng := experiment.New(
+			experiment.WithModelSource(src),
+			experiment.WithExecutor(&experiment.LocalExecutor{Parallel: parallel}),
+		)
+		if _, err := eng.Run(ctx, spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	pairedRel(b,
+		func() { runSuite(1) },
+		func() { runSuite(4) })
 }

@@ -66,6 +66,7 @@ func main() {
 	bits := flag.Uint("bits", 8, "quantization level (Qlevel)")
 	approxDense := flag.Bool("approx-dense", false, "route dense-layer products through the approximate multiplier")
 	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	cellWorkers := flag.Int("cell-workers", 1, "suite cells run concurrently (1 = serial; reports are identical either way)")
 	format := flag.String("format", "text", "output format: text, json, csv")
 	progress := flag.Bool("progress", false, "stream per-cell progress to stderr")
 	server := flag.String("server", "", "submit to this axserve base URL instead of running locally")
@@ -185,6 +186,9 @@ func main() {
 	var engineOpts []experiment.Option
 	if *progress {
 		engineOpts = append(engineOpts, experiment.WithProgress(experiment.Progress(os.Stderr)))
+	}
+	if *cellWorkers > 1 {
+		engineOpts = append(engineOpts, experiment.WithExecutor(&experiment.LocalExecutor{Parallel: *cellWorkers}))
 	}
 	eng := experiment.New(engineOpts...)
 

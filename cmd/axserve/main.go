@@ -27,6 +27,15 @@
 // recompute and re-enqueues jobs the previous process never finished —
 // including those force-cancelled by an expired drain — under the same
 // job IDs. Without -data-dir, nothing touches disk (today's behavior).
+//
+// With -peers set, multi-grid suites shard across nodes: this node
+// keeps some grids, fans the rest out to its peers' internal shard
+// endpoints, and merges the partial reports — byte-identical to a
+// single-node run. A peer that fails mid-shard degrades to local
+// fallback, never to a failed job. Nodes sharing one -data-dir also
+// share the disk cache tier, so a batch crafted on one shard replays
+// everywhere. -cell-workers > 1 additionally runs that many cells of
+// each suite concurrently on this node.
 package main
 
 import (
@@ -58,6 +67,8 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "pprof listen address, e.g. 127.0.0.1:6060 (empty = disabled)")
 	dataDir := flag.String("data-dir", "", "persistence root: disk cache tier + write-ahead job log (empty = memory only)")
 	diskMB := flag.Int64("disk-mb", 512, "disk cache tier retention bound in MiB (with -data-dir)")
+	peers := flag.String("peers", "", "comma-separated peer axserve base URLs to shard multi-grid suites across")
+	cellWorkers := flag.Int("cell-workers", 1, "suite cells each job runs concurrently on this node (1 = serial)")
 	flag.Parse()
 
 	if *debugAddr != "" {
@@ -114,13 +125,25 @@ func main() {
 		defer wal.Close()
 		log.Printf("axserve: persisting to %s (cache bound %d MiB)", *dataDir, *diskMB)
 	}
+	peerURLs, err := cli.ParsePeers(*peers)
+	if err != nil {
+		cli.Fail("axserve", err)
+	}
+	if *cellWorkers < 0 {
+		cli.Fail("axserve", fmt.Errorf("negative -cell-workers %d", *cellWorkers))
+	}
 	m := service.NewManager(service.Config{
-		Workers:    *jobs,
-		QueueDepth: *queue,
-		Cache:      core.NewCache(cfg),
-		MaxJobs:    *retain,
-		Log:        wal,
+		Workers:      *jobs,
+		QueueDepth:   *queue,
+		Cache:        core.NewCache(cfg),
+		MaxJobs:      *retain,
+		Log:          wal,
+		Peers:        peerURLs,
+		CellParallel: *cellWorkers,
 	})
+	if len(peerURLs) > 0 {
+		log.Printf("axserve: sharding multi-grid suites across %d peers", len(peerURLs))
+	}
 	srv := &http.Server{Addr: *addr, Handler: service.NewHandler(m)}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

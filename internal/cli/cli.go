@@ -9,6 +9,7 @@ package cli
 import (
 	"fmt"
 	"math"
+	"net/url"
 	"os"
 	"strconv"
 	"strings"
@@ -46,6 +47,22 @@ func ParseList(s string) []string {
 		}
 	}
 	return out
+}
+
+// ParsePeers parses a comma-separated list of peer node base URLs
+// (the axserve -peers flag). Each entry must be an absolute http(s)
+// URL with a host; trailing slashes are trimmed so clients can append
+// paths directly. Empty input returns no peers.
+func ParsePeers(s string) ([]string, error) {
+	var out []string
+	for _, tok := range ParseList(s) {
+		u, err := url.Parse(tok)
+		if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			return nil, fmt.Errorf("bad peer URL %q (want http://host:port or https://host:port)", tok)
+		}
+		out = append(out, strings.TrimRight(tok, "/"))
+	}
+	return out, nil
 }
 
 // ParseFormat validates a report output-format flag against the

@@ -47,3 +47,24 @@ func TestParseFormat(t *testing.T) {
 		t.Fatal("unknown formats must be rejected")
 	}
 }
+
+func TestParsePeers(t *testing.T) {
+	got, err := ParsePeers(" http://10.0.0.1:8080 , https://peer.example/ ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []string{"http://10.0.0.1:8080", "https://peer.example"}) {
+		t.Fatalf("ParsePeers = %v", got)
+	}
+	// No peers is a valid single-node configuration.
+	if got, err := ParsePeers(""); err != nil || got != nil {
+		t.Fatalf("ParsePeers(\"\") = (%v, %v), want no peers", got, err)
+	}
+	// Anything that is not an absolute http(s) URL with a host would
+	// produce silently unreachable shard requests.
+	for _, bad := range []string{"10.0.0.1:8080", "ftp://peer:21", "http://", "peer", "http://ok:1,bogus"} {
+		if _, err := ParsePeers(bad); err == nil {
+			t.Errorf("ParsePeers(%q) accepted a bad peer URL", bad)
+		}
+	}
+}

@@ -406,6 +406,32 @@ func (c *Cache) cleanBatch(test *dataset.Set) (*tensor.T, bool, error) {
 	return c.storeCrafted(key, tensor.Stack(test.X)), false, nil
 }
 
+// CraftedCached reports whether CraftedBatch would return the cell's
+// batch without crafting — the memory memo already holds it, or the
+// persistent tier's index knows the key. Cell schedulers use it to
+// prioritise hit cells over cold ones; a wrong answer only reorders
+// work, so the disk probe is index-only (no read, no decode, no
+// shape check).
+func (c *Cache) CraftedCached(src *nn.Network, test *dataset.Set, atk attack.Attack, eps float64, opts Options) bool {
+	if test.Len() == 0 {
+		return false
+	}
+	epsQ := EpsKey(eps)
+	if epsQ == 0 {
+		_, ok := c.craft.Load(craftKey{first: test.X[0], n: test.Len()})
+		return ok
+	}
+	key := craftKey{
+		src: src, srcFP: src.WeightsFingerprint(),
+		first: test.X[0], n: test.Len(),
+		attack: attack.ConfigKey(atk), epsQ: epsQ, seed: opts.Seed,
+	}
+	if _, ok := c.craft.Load(key); ok {
+		return true
+	}
+	return c.disk != nil && c.disk.Has(craftDiskKey(src, test, key.attack, epsQ, opts.Seed))
+}
+
 // Predictions scores one victim over the crafted batch, using the
 // batched path when the model supports it and memoising per (victim,
 // batch). hit reports whether the predictions came from the cache;

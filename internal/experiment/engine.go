@@ -21,6 +21,7 @@ type Engine struct {
 	cache    *core.Cache
 	onEvent  func(Event)
 	getModel func(context.Context, string) (*modelzoo.Model, error)
+	exec     Executor
 }
 
 // Option configures an Engine.
@@ -34,8 +35,11 @@ func WithCache(c *core.Cache) Option {
 }
 
 // WithProgress registers a callback receiving progress events (cell
-// started/finished, cache hit/miss). Events are emitted synchronously
-// from the Run goroutine, in order.
+// started/finished, cache hit/miss). Under the default serial executor
+// events are emitted synchronously, in plan order, from one goroutine;
+// a parallel executor emits them from its workers as cells complete,
+// so the callback must be safe for concurrent use and interleaving
+// (Event.Cell still carries each cell's stable plan position).
 func WithProgress(fn func(Event)) Option {
 	return func(e *Engine) { e.onEvent = fn }
 }
@@ -49,11 +53,23 @@ func WithModelSource(fn func(context.Context, string) (*modelzoo.Model, error)) 
 	return func(e *Engine) { e.getModel = fn }
 }
 
-// New returns an engine with a fresh owned cache.
+// WithExecutor replaces the executor Run hands compiled plans to
+// (default: a serial LocalExecutor). nil keeps the default.
+func WithExecutor(x Executor) Option {
+	return func(e *Engine) {
+		if x != nil {
+			e.exec = x
+		}
+	}
+}
+
+// New returns an engine with a fresh owned cache and a serial local
+// executor.
 func New(opts ...Option) *Engine {
 	e := &Engine{
 		cache:    core.NewCache(core.CacheConfig{}),
 		getModel: modelzoo.GetCtx,
+		exec:     &LocalExecutor{},
 	}
 	for _, o := range opts {
 		o(e)
@@ -75,22 +91,43 @@ func (e *Engine) emit(ev Event) {
 	}
 }
 
-// Run executes the suite declared by spec: it resolves the source
-// (and, for transfer suites, victim) model, compiles one AxDNN victim
-// per multiplier, and sweeps every attack over every budget — one
-// Grid per attack, crafted batches and victim predictions
-// deduplicated through the engine's cache. Cancellation via ctx is
-// observed at chunk granularity inside crafting and evaluation; Run
-// then returns ctx.Err() with no partial results memoised and no
-// goroutines leaked.
+// Run executes the suite declared by spec: it compiles the spec into
+// its cell plan, binds the plan to resolved models and built victims,
+// and hands it to the engine's executor — one Grid per attack, crafted
+// batches and victim predictions deduplicated through the engine's
+// cache. Cancellation via ctx is observed at cell and chunk
+// granularity; Run then returns ctx.Err() with no partial results
+// memoised and no goroutines leaked.
 //
 // The numbers are identical to running core.RobustnessGrid once per
-// attack with the same options: the engine only changes who owns the
-// cache and how progress is observed, never the protocol.
+// attack with the same options: the plan/executor split only changes
+// who owns the cache and in what order cells run, never the protocol —
+// and the Report is assembled in plan order, so the bytes don't depend
+// on the executor either.
 func (e *Engine) Run(ctx context.Context, spec *Spec) (*Report, error) {
-	if err := spec.Validate(); err != nil {
+	plan, err := spec.Plan()
+	if err != nil {
 		return nil, err
 	}
+	return e.RunPlan(ctx, plan)
+}
+
+// RunPlan binds an already-compiled plan (possibly restricted to a
+// subset of its grids — the shard server's path) and executes it.
+func (e *Engine) RunPlan(ctx context.Context, plan *Plan) (*Report, error) {
+	run, err := e.bind(ctx, plan)
+	if err != nil {
+		return nil, err
+	}
+	return e.exec.Execute(ctx, run)
+}
+
+// bind resolves everything a plan needs at runtime: the source (and,
+// for transfer suites, victim) model, the AxDNN victims plus
+// defense-appended columns, the sliced test set, and one attack
+// instance per plan grid.
+func (e *Engine) bind(ctx context.Context, plan *Plan) (*PlanRun, error) {
+	spec := plan.spec
 	src, err := e.getModel(ctx, spec.Model)
 	if err != nil {
 		return nil, err
@@ -109,17 +146,21 @@ func (e *Engine) Run(ctx context.Context, spec *Spec) (*Report, error) {
 	if test.Len() == 0 {
 		return nil, fmt.Errorf("experiment: %s has no test samples", spec.victimModel())
 	}
-	opts := core.Options{
-		Samples: spec.Samples,
-		Seed:    spec.Seed,
-		Workers: spec.Workers,
-		Batch:   spec.Batch,
-		Cache:   e.cache,
-	}
 
-	atks := spec.attackList()
-	// The defense block appends its victims after the plain multiplier
-	// columns, and the adaptive EOT grid after the declared attacks.
+	byName := make(map[string]attack.Attack, len(spec.Attacks)+1)
+	for i, a := range spec.attackList() {
+		byName[spec.Attacks[i]] = a
+	}
+	needEOT := false
+	for _, g := range plan.Grids {
+		if g == EOTGridName {
+			needEOT = true
+		}
+	}
+	// The defense block appends its victim columns whatever grids the
+	// plan covers — a restricted shard must evaluate the same columns
+	// as the full suite — and builds the adaptive EOT attack only when
+	// the plan includes its grid.
 	if d := spec.Defense; d != nil {
 		if d.Has(DefenseAdvTrain) {
 			// Defenses defend the victim: the hardened model derives
@@ -140,10 +181,19 @@ func (e *Engine) Run(ctx context.Context, spec *Spec) (*Report, error) {
 				return nil, err
 			}
 			victims = append(victims, core.NewVictim(ens.Name(), ens))
-			if d.EOTSamples > 0 {
-				atks = append(atks, attack.NewEOT(ens, attack.Linf, d.EOTSamples))
+			if d.EOTSamples > 0 && needEOT {
+				byName[EOTGridName] = attack.NewEOT(ens, attack.Linf, d.EOTSamples)
 			}
 		}
+	}
+
+	atks := make([]attack.Attack, len(plan.Grids))
+	for gi, name := range plan.Grids {
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("experiment: plan grid %q has no attack", name)
+		}
+		atks[gi] = a
 	}
 
 	names := make([]string, len(victims))
@@ -153,54 +203,25 @@ func (e *Engine) Run(ctx context.Context, spec *Spec) (*Report, error) {
 		models[i] = v.Factory()
 	}
 
-	rep := &Report{
-		Spec:     *spec,
-		CleanAcc: src.CleanAcc,
-		Grids:    make([]*core.Grid, 0, len(atks)),
-	}
-	cells := spec.CellCount()
-	cell := 0
-	for _, atk := range atks {
-		g := &core.Grid{
-			Attack:  atk.Name(),
-			Dataset: vic.Test.Name,
-			Eps:     append([]float64(nil), spec.Eps...),
-			Victims: append([]string(nil), names...),
-			Acc:     make([][]float64, len(spec.Eps)),
-		}
-		for ei, eps := range spec.Eps {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-			cell++
-			e.emit(Event{Kind: CellStarted, Suite: spec.Name, Attack: atk.Name(), Eps: eps, Cell: cell, Cells: cells})
-			start := time.Now()
-			adv, hit, err := e.cache.CraftedBatch(ctx, src.Net, test, atk, eps, opts)
-			if err != nil {
-				return nil, err
-			}
-			e.emit(Event{Kind: cacheKind(hit), Suite: spec.Name, Attack: atk.Name(), Eps: eps, Cell: cell, Cells: cells})
-			row := make([]float64, len(models))
-			for vi, m := range models {
-				preds, _, err := e.cache.Predictions(ctx, m, adv, opts)
-				if err != nil {
-					return nil, err
-				}
-				row[vi] = core.Robustness(preds, test.Y)
-			}
-			g.Acc[ei] = row
-			elapsed := time.Since(start)
-			e.emit(Event{Kind: CellFinished, Suite: spec.Name, Attack: atk.Name(), Eps: eps, Cell: cell, Cells: cells, CacheHit: hit, Elapsed: elapsed})
-			rep.Cells = append(rep.Cells, CellTiming{
-				Attack:    atk.Name(),
-				Eps:       eps,
-				CacheHit:  hit,
-				ElapsedMS: float64(elapsed) / float64(time.Millisecond),
-			})
-		}
-		rep.Grids = append(rep.Grids, g)
-	}
-	return rep, nil
+	return &PlanRun{
+		plan:     plan,
+		dataset:  vic.Test.Name,
+		cleanAcc: src.CleanAcc,
+		src:      src.Net,
+		test:     test,
+		atks:     atks,
+		names:    names,
+		models:   models,
+		opts: core.Options{
+			Samples: spec.Samples,
+			Seed:    spec.Seed,
+			Workers: spec.Workers,
+			Batch:   spec.Batch,
+			Cache:   e.cache,
+		},
+		cache: e.cache,
+		emit:  e.emit,
+	}, nil
 }
 
 func cacheKind(hit bool) Kind {

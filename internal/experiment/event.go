@@ -77,12 +77,15 @@ func (k *Kind) UnmarshalJSON(data []byte) error {
 }
 
 // Event is one progress observation streamed from Engine.Run (or a
-// service job wrapping it). Cell and Cells give suite-wide progress
-// (1-based cell index over the attack × eps plan). Suite carries the
-// spec name and Job the service job ID, so interleaved runs in one
-// process produce attributable lines; the engine stamps Time at
-// emission. The JSON encoding is stable (string kinds, elapsed in
-// milliseconds) and is what the server's SSE stream carries.
+// service job wrapping it). Cell is the cell's 1-based position in
+// the compiled plan and Cells the plan's total — stable identities,
+// not arrival counters, so parallel and sharded executors that finish
+// cells out of order still number them exactly as a serial run would.
+// Suite carries the spec name and Job the service job ID, so
+// interleaved runs in one process produce attributable lines; the
+// engine stamps Time at emission. The JSON encoding is stable (string
+// kinds, elapsed in milliseconds) and is what the server's SSE stream
+// carries.
 type Event struct {
 	Kind Kind `json:"kind"`
 	// Time is when the event was emitted. Engine.Run stamps it if the

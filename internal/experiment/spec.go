@@ -380,16 +380,13 @@ func expandMultiplierAliases(mults []string) []string {
 	return out
 }
 
-// CellCount returns the number of (grid, eps) cells Run sweeps: one
-// grid per attack, plus the adaptive EOT grid when the defense block
-// enables it. The service sizes job progress with it, so it must
-// agree with the engine's plan.
+// CellCount returns the number of (grid, eps) cells Run sweeps, by
+// compiling the plan and counting its cells — one grid per attack,
+// plus the adaptive EOT grid when the defense block enables it. The
+// service sizes job progress with it, and because the plan is the
+// single source of truth it cannot drift from what the executor runs.
 func (s *Spec) CellCount() int {
-	n := len(s.Attacks)
-	if s.Defense != nil && s.Defense.EOTSamples > 0 {
-		n++
-	}
-	return n * len(s.Eps)
+	return len(compilePlan(s).Cells)
 }
 
 // attackList resolves the attack names and applies AttackParams to

@@ -131,6 +131,27 @@ func (c *Client) ReportRaw(ctx context.Context, id, format string) ([]byte, erro
 	return io.ReadAll(resp.Body)
 }
 
+// ExecuteShard asks the peer to run the named grids of the spec on
+// its local executor, synchronously, returning the partial report.
+// This is the node-to-node path of sharded suite execution — not part
+// of the public suite API, and not a job on the peer.
+func (c *Client) ExecuteShard(ctx context.Context, spec *experiment.Spec, grids []string) (*experiment.Report, error) {
+	specJSON, err := spec.Encode()
+	if err != nil {
+		return nil, err
+	}
+	body, err := json.Marshal(shardRequest{Spec: specJSON, Grids: grids})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.do(ctx, http.MethodPost, "/internal/v1/shard", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return experiment.ReadReport(resp.Body)
+}
+
 // Events consumes the job's SSE stream — full replay, then live —
 // invoking fn for every event until the server closes the stream (the
 // job reached a terminal state) or ctx is cancelled. fn may be nil to

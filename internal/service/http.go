@@ -35,7 +35,8 @@ const maxSpecBytes = 1 << 20
 //	GET    /v1/suites/{id}/events   replay + live progress as SSE
 //	DELETE /v1/suites/{id}          cancel
 //	GET    /healthz                 liveness
-//	GET    /metrics                 Prometheus-style cache/job counters
+//	GET    /metrics                 Prometheus-style cache/sched/job counters
+//	POST   /internal/v1/shard       node-to-node: run a subset of a suite's grids
 func NewHandler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/suites", func(w http.ResponseWriter, r *http.Request) {
@@ -142,6 +143,35 @@ func NewHandler(m *Manager) http.Handler {
 		writeJSON(w, http.StatusOK, st)
 	})
 
+	// Internal node-to-node path of sharded execution: run a subset of
+	// a suite's grids synchronously and return the partial report. Not
+	// part of the public suite API — no job, no events, no dedup.
+	mux.HandleFunc("POST /internal/v1/shard", func(w http.ResponseWriter, r *http.Request) {
+		body := http.MaxBytesReader(w, r.Body, maxSpecBytes)
+		var req shardRequest
+		if err := json.NewDecoder(body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding shard request: %w", err))
+			return
+		}
+		spec, err := experiment.Parse(req.Spec)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		rep, err := m.ExecuteShard(r.Context(), spec, req.Grids)
+		if err != nil {
+			switch {
+			case errors.Is(err, ErrClosed):
+				writeError(w, http.StatusServiceUnavailable, err)
+			default:
+				writeError(w, http.StatusInternalServerError, err)
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		rep.WriteJSON(w)
+	})
+
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "jobs": len(m.List())})
 	})
@@ -201,6 +231,9 @@ func writeMetrics(w http.ResponseWriter, m *Manager) {
 		{"axserve_store_admission_rejects_total", "Cold-key lookups rejected by the bloom filter without a disk probe.", st.DiskAdmissionRejects},
 		{"axserve_store_gc_evicted_records_total", "Records dropped by size-bounded segment GC.", st.DiskGCEvictions},
 		{"axserve_store_corrupt_records_total", "Corrupt records skipped by the store.", st.DiskCorruptRecords},
+		{"axserve_sched_cells_local_total", "Suite cells executed by this node's local executor.", m.Sched().Local.Load()},
+		{"axserve_sched_cells_remote_total", "Suite cells peer nodes executed for this node's sharded jobs.", m.Sched().Remote.Load()},
+		{"axserve_sched_cells_fallback_total", "Suite cells re-executed locally after a peer shard failed.", m.Sched().Fallback.Load()},
 	}
 	for _, c := range counters {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.value)
@@ -214,6 +247,7 @@ func writeMetrics(w http.ResponseWriter, m *Manager) {
 		{"axserve_cache_craft_bytes", "Bytes retained by crafted batches.", st.CraftBytes},
 		{"axserve_store_keys", "Live keys in the persistent cache store.", st.DiskKeys},
 		{"axserve_store_bytes", "Bytes on disk in the persistent cache store.", st.DiskBytes},
+		{"axserve_sched_ready_cells", "Cell-graph nodes ready to run in the local executor right now.", m.Sched().Ready.Load()},
 	}
 	for _, g := range gauges {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", g.name, g.help, g.name, g.name, g.value)

@@ -248,6 +248,13 @@ func TestHTTPHealthAndMetrics(t *testing.T) {
 		"axserve_store_corrupt_records_total",
 		"axserve_store_keys",
 		"axserve_store_bytes",
+		// Scheduler counters: the finished 4-cell suite ran entirely on
+		// this node's local executor; remote and fallback are pinned at
+		// zero on a single-node manager, and the ready gauge drains.
+		"axserve_sched_cells_local_total 4",
+		"axserve_sched_cells_remote_total 0",
+		"axserve_sched_cells_fallback_total 0",
+		"axserve_sched_ready_cells 0",
 		`axserve_jobs{state="done"} 1`,
 	} {
 		if !strings.Contains(metrics, want) {

@@ -86,6 +86,15 @@ type Config struct {
 	// previous behavior. The manager does not own the store; callers
 	// close it after Close returns.
 	Log *store.Store
+	// Peers are base URLs of other axserve nodes to shard multi-grid
+	// suites across (see shard.go). Empty (the default) runs every job
+	// locally. A peer that fails mid-shard degrades to local fallback,
+	// never to a failed job.
+	Peers []string
+	// CellParallel is the number of suite cells each job runs in
+	// flight through the local executor (0 or 1 = serial, the previous
+	// behavior). Within-cell parallelism is still the spec's Workers.
+	CellParallel int
 }
 
 // JobStatus is the observable snapshot of a job.
@@ -226,6 +235,9 @@ type Manager struct {
 	modelSource func(context.Context, string) (*modelzoo.Model, error)
 	maxJobs     int
 	log         *store.Store // nil = memory-only
+	peers       []*Client
+	cellPar     int
+	sched       experiment.SchedCounters
 
 	mu     sync.Mutex
 	jobs   map[string]*job
@@ -254,7 +266,11 @@ func NewManager(cfg Config) *Manager {
 		modelSource: cfg.ModelSource,
 		maxJobs:     cfg.MaxJobs,
 		log:         cfg.Log,
+		cellPar:     cfg.CellParallel,
 		jobs:        make(map[string]*job),
+	}
+	for _, p := range cfg.Peers {
+		m.peers = append(m.peers, NewClient(p))
 	}
 	// Replay the write-ahead log before the workers start: restored
 	// terminal jobs are served from memory again, and jobs the previous
@@ -327,6 +343,28 @@ func (m *Manager) replay() (restored, resume []*job) {
 
 // Cache exposes the shared cache, chiefly for the /metrics scrape.
 func (m *Manager) Cache() *core.Cache { return m.cache }
+
+// Sched exposes the scheduler counters, chiefly for the /metrics
+// scrape. On a single-node manager Remote and Fallback stay pinned at
+// zero.
+func (m *Manager) Sched() *experiment.SchedCounters { return &m.sched }
+
+// newEngine builds the per-job engine: shared cache, this manager's
+// local executor (cell parallelism + scheduler counters), optional
+// progress sink and model source.
+func (m *Manager) newEngine(progress func(experiment.Event)) *experiment.Engine {
+	opts := []experiment.Option{
+		experiment.WithCache(m.cache),
+		experiment.WithExecutor(&experiment.LocalExecutor{Parallel: m.cellPar, Counters: &m.sched}),
+	}
+	if progress != nil {
+		opts = append(opts, experiment.WithProgress(progress))
+	}
+	if m.modelSource != nil {
+		opts = append(opts, experiment.WithModelSource(m.modelSource))
+	}
+	return experiment.New(opts...)
+}
 
 // JobID derives the job ID for a spec: the hex-truncated SHA-256 of
 // its canonical encoding (Spec.Encode). Identical suites — however
@@ -602,9 +640,11 @@ func (m *Manager) worker() {
 	}
 }
 
-// runJob executes one job on a fresh engine sharing the manager's
-// cache, bracketing the engine's cell events with SuiteStarted /
-// SuiteFinished in the persisted log.
+// runJob executes one job, bracketing the cell events with
+// SuiteStarted / SuiteFinished in the persisted log. The job's plan is
+// compiled once here: a multi-grid plan on a manager with peers runs
+// sharded (see shard.go), everything else on a fresh local engine
+// sharing the manager's cache.
 func (m *Manager) runJob(j *job) {
 	j.mu.Lock()
 	if j.state.Terminal() { // cancelled while queued
@@ -622,15 +662,16 @@ func (m *Manager) runJob(j *job) {
 		Kind:  experiment.SuiteStarted,
 		Cells: j.spec.CellCount(),
 	})
-	opts := []experiment.Option{
-		experiment.WithCache(m.cache),
-		experiment.WithProgress(j.record),
-	}
-	if m.modelSource != nil {
-		opts = append(opts, experiment.WithModelSource(m.modelSource))
-	}
 	start := time.Now()
-	rep, err := experiment.New(opts...).Run(ctx, j.spec)
+	var rep *experiment.Report
+	plan, err := j.spec.Plan()
+	if err == nil {
+		if len(m.peers) > 0 && len(plan.Grids) > 1 {
+			rep, err = m.runSharded(ctx, j, plan)
+		} else {
+			rep, err = m.newEngine(j.record).RunPlan(ctx, plan)
+		}
+	}
 
 	j.mu.Lock()
 	defer j.mu.Unlock()

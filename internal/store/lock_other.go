@@ -1,0 +1,11 @@
+//go:build !unix
+
+package store
+
+// Without flock the store degrades to the original single-writer-per-
+// directory contract: every Open believes it may adopt the newest
+// segment. Safe for all single-process use; sharing a directory
+// between processes needs a unix build.
+func flockTry(fd uintptr) bool { return true }
+
+func funlock(fd uintptr) {}

@@ -1,0 +1,16 @@
+//go:build unix
+
+package store
+
+import "syscall"
+
+// flockTry takes a non-blocking exclusive flock on the descriptor.
+// flock locks belong to the open file description, so two Opens of
+// the same path — even within one process — contend as two writers.
+func flockTry(fd uintptr) bool {
+	return syscall.Flock(int(fd), syscall.LOCK_EX|syscall.LOCK_NB) == nil
+}
+
+func funlock(fd uintptr) {
+	syscall.Flock(int(fd), syscall.LOCK_UN)
+}

@@ -1,0 +1,93 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestMultiWriterSharedDir pins the shared-directory contract behind
+// the cross-shard cache fabric: a second store opening a directory
+// with a live writer must not adopt (and tail-truncate) the writer's
+// active segment — it reads the records already on disk and appends
+// to a segment of its own, so both write without clobbering.
+func TestMultiWriterSharedDir(t *testing.T) {
+	dir := t.TempDir()
+	a := open(t, Options{Dir: dir})
+	defer a.Close()
+	mustPut(t, a, "from-a", []byte("A"))
+
+	b, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if v, ok := b.Get("from-a"); !ok || string(v) != "A" {
+		t.Fatalf("b.Get(from-a) = %q, %v; want A", v, ok)
+	}
+	if st := b.Stats(); st.TruncatedTails != 0 || st.CorruptRecords != 0 {
+		t.Fatalf("opening beside a live writer counted damage: %+v", st)
+	}
+
+	// Writes on both sides land in distinct segments; neither clobbers
+	// the other. Visibility across stores is Open-time only.
+	mustPut(t, b, "from-b", []byte("B"))
+	mustPut(t, a, "from-a2", []byte("A2"))
+	if _, ok := a.Get("from-b"); ok {
+		t.Fatal("a sees b's write without reopening")
+	}
+	if v, ok := a.Get("from-a"); !ok || string(v) != "A" {
+		t.Fatalf("a.Get(from-a) = %q, %v after b opened", v, ok)
+	}
+
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c := open(t, Options{Dir: dir})
+	defer c.Close()
+	for key, want := range map[string]string{"from-a": "A", "from-a2": "A2", "from-b": "B"} {
+		if v, ok := c.Get(key); !ok || string(v) != want {
+			t.Fatalf("after both closed, Get(%s) = %q, %v; want %q", key, v, ok, want)
+		}
+	}
+}
+
+// TestLegacySegmentNamesAdopted proves nonce-less segment files from
+// earlier versions still open, index, and are adopted as the active
+// segment when unlocked.
+func TestLegacySegmentNamesAdopted(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, Options{Dir: dir})
+	mustPut(t, s, "old", []byte("v1"))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	names, _ := filepath.Glob(filepath.Join(dir, "*"+segSuffix))
+	if len(names) != 1 {
+		t.Fatalf("segments = %v", names)
+	}
+	legacy := filepath.Join(dir, "0000000000000001"+segSuffix)
+	if err := os.Rename(names[0], legacy); err != nil {
+		t.Fatal(err)
+	}
+
+	r := open(t, Options{Dir: dir})
+	defer r.Close()
+	if v, ok := r.Get("old"); !ok || string(v) != "v1" {
+		t.Fatalf("Get(old) = %q, %v", v, ok)
+	}
+	mustPut(t, r, "new", []byte("v2"))
+	// Adoption means the append landed in the legacy file itself, not
+	// a fresh segment.
+	if st := r.Stats(); st.Segments != 1 {
+		t.Fatalf("Segments = %d, want 1 (legacy file adopted)", st.Segments)
+	}
+	names, _ = filepath.Glob(filepath.Join(dir, "*"+segSuffix))
+	if len(names) != 1 || !strings.HasSuffix(names[0], "0000000000000001"+segSuffix) {
+		t.Fatalf("segments after adoption = %v", names)
+	}
+}

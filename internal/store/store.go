@@ -8,9 +8,19 @@
 //
 // On-disk format (all integers little-endian):
 //
-//	<dir>/0000000000000001.seg
-//	<dir>/0000000000000002.seg          newest = active, append-only
+//	<dir>/0000000000000001-9f2c41aa.seg
+//	<dir>/0000000000000002-9f2c41aa.seg     newest = active, append-only
 //	...
+//
+// Segment names carry the creating store's random owner nonce, and
+// every store holds a flock on its active segment, so several
+// processes can share one directory: each appends to its own active
+// segment, and Open only adopts (and tail-truncates) the newest
+// segment when its flock succeeds — i.e. when no live peer owns it —
+// otherwise it reads the peer's records and appends to a fresh
+// segment of its own. Peers see each other's records from the scan at
+// Open time; there is no live cross-process index exchange. Legacy
+// nonce-less names still parse and sort first among equals.
 //
 // Each segment is a sequence of records:
 //
@@ -38,7 +48,9 @@
 package store
 
 import (
+	crand "crypto/rand"
 	"encoding/binary"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"hash/crc32"
@@ -127,23 +139,26 @@ type digest [16]byte
 
 // loc locates one live record.
 type loc struct {
-	seg  uint64
+	seg  *segment
 	off  int64
 	klen uint32
 	vlen uint32
 }
 
 type segment struct {
-	id   uint64
-	path string
-	f    *os.File
-	size int64
+	id     uint64
+	nonce  string // creating store's owner nonce; "" on legacy files
+	path   string
+	f      *os.File
+	size   int64
+	locked bool // this store holds the segment's flock
 }
 
 // Store is a disk-backed content-addressed key/value store. See the
 // package comment for the on-disk format and recovery semantics.
 type Store struct {
 	dir      string
+	nonce    string // this store's segment-name owner nonce
 	segBytes int64
 	maxBytes int64
 	syncPut  bool
@@ -191,21 +206,40 @@ func Open(o Options) (*Store, error) {
 		bloom:     make([]uint64, bits/64),
 		bloomMask: uint64(bits - 1),
 	}
-	ids, err := listSegments(o.Dir)
+	var nb [4]byte
+	if _, err := crand.Read(nb[:]); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s.nonce = hex.EncodeToString(nb[:])
+
+	refs, err := listSegments(o.Dir)
 	if err != nil {
 		return nil, err
 	}
-	for i, id := range ids {
-		seg, err := s.openSegment(id, i == len(ids)-1)
+	// Only the newest segment is adoptable as this store's active
+	// segment, and only when no live peer process holds its flock:
+	// adoption truncates the torn tail a crash leaves, which on a
+	// peer's segment would chop off an append in flight.
+	adopted := false
+	for i, ref := range refs {
+		seg, err := s.openSegment(ref, i == len(refs)-1)
 		if err != nil {
 			s.Close()
 			return nil, err
 		}
 		s.segs = append(s.segs, seg)
+		if i == len(refs)-1 && seg.locked {
+			adopted = true
+		}
 	}
-	if len(s.segs) == 0 {
-		seg, err := s.createSegment(1)
+	if !adopted {
+		next := uint64(1)
+		if len(refs) > 0 {
+			next = refs[len(refs)-1].id + 1
+		}
+		seg, err := s.createSegment(next)
 		if err != nil {
+			s.Close()
 			return nil, err
 		}
 		s.segs = append(s.segs, seg)
@@ -213,77 +247,116 @@ func Open(o Options) (*Store, error) {
 	return s, nil
 }
 
-func listSegments(dir string) ([]uint64, error) {
+// segRef names one segment file: numeric id plus the creating store's
+// owner nonce ("" on legacy nonce-less files).
+type segRef struct {
+	id    uint64
+	nonce string
+}
+
+func listSegments(dir string) ([]segRef, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	var ids []uint64
+	var refs []segRef
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, segSuffix) {
 			continue
 		}
-		id, err := strconv.ParseUint(strings.TrimSuffix(name, segSuffix), 10, 64)
+		base := strings.TrimSuffix(name, segSuffix)
+		idPart, nonce, _ := strings.Cut(base, "-")
+		id, err := strconv.ParseUint(idPart, 10, 64)
 		if err != nil {
 			continue // foreign file; leave it alone
 		}
-		ids = append(ids, id)
+		refs = append(refs, segRef{id: id, nonce: nonce})
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return ids, nil
+	sort.Slice(refs, func(i, j int) bool {
+		if refs[i].id != refs[j].id {
+			return refs[i].id < refs[j].id
+		}
+		return refs[i].nonce < refs[j].nonce
+	})
+	return refs, nil
 }
 
-func segPath(dir string, id uint64) string {
-	return filepath.Join(dir, fmt.Sprintf("%016d%s", id, segSuffix))
+func segPath(dir string, ref segRef) string {
+	if ref.nonce == "" {
+		return filepath.Join(dir, fmt.Sprintf("%016d%s", ref.id, segSuffix))
+	}
+	return filepath.Join(dir, fmt.Sprintf("%016d-%s%s", ref.id, ref.nonce, segSuffix))
 }
 
+// createSegment makes a fresh, empty, flocked segment owned by this
+// store. O_EXCL plus the nonce in the name makes racing creators land
+// on distinct files.
 func (s *Store) createSegment(id uint64) (*segment, error) {
-	path := segPath(s.dir, id)
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	path := segPath(s.dir, segRef{id: id, nonce: s.nonce})
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	return &segment{id: id, path: path, f: f}, nil
+	if !flockTry(f.Fd()) {
+		f.Close()
+		return nil, fmt.Errorf("store: cannot lock fresh segment %s", path)
+	}
+	return &segment{id: id, nonce: s.nonce, path: path, f: f, locked: true}, nil
 }
 
 // openSegment reads one existing segment into the index. A torn tail —
 // the trace of a crash mid-append — is physically truncated off the
-// final (soon to be active again) segment, and merely abandoned on
-// older read-only ones.
-func (s *Store) openSegment(id uint64, last bool) (*segment, error) {
-	path := segPath(s.dir, id)
-	buf, err := os.ReadFile(path)
-	if err != nil {
-		return nil, fmt.Errorf("store: %w", err)
-	}
+// newest segment when its flock succeeds (no live peer owns it; it
+// becomes this store's active segment again). A tail on a live peer's
+// segment is an append in flight, skipped without counting; on an
+// older dead segment it is abandoned and counted corrupt.
+func (s *Store) openSegment(ref segRef, last bool) (*segment, error) {
+	path := segPath(s.dir, ref)
 	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	seg := &segment{id: id, path: path, f: f, size: int64(len(buf))}
+	locked := flockTry(f.Fd())
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	seg := &segment{id: ref.id, nonce: ref.nonce, path: path, f: f, size: int64(len(buf)), locked: locked}
+	adopt := last && locked
+	if locked && !adopt {
+		// Old dead segments stay read-only; holding their lock would
+		// only stop a peer from classifying them as dead too.
+		funlock(f.Fd())
+		seg.locked = false
+	}
 
 	off := 0
 	for off < len(buf) {
 		key, _, end, ok := parseRecord(buf, off)
 		if !ok {
 			if end < 0 { // structurally torn: nothing parseable follows
-				if last {
+				switch {
+				case adopt:
 					s.truncated.Add(1)
 					seg.size = int64(off)
 					if err := f.Truncate(seg.size); err != nil {
 						f.Close()
 						return nil, fmt.Errorf("store: truncating torn tail of %s: %w", path, err)
 					}
-				} else {
+				case locked:
 					s.corrupt.Add(1)
 				}
+				// A live peer's tail (lock refused) is an append in
+				// flight, not corruption.
 				break
 			}
 			// Framing intact but CRC failed: bit rot, or a torn final
-			// value. At the very end of the last segment, treat it as a
-			// torn write and truncate; mid-file, skip to the next record.
-			if last && end == len(buf) {
+			// value. At the very end of the adopted segment, treat it as
+			// a torn write and truncate; mid-file, skip to the next
+			// record.
+			if adopt && end == len(buf) {
 				s.truncated.Add(1)
 				seg.size = int64(off)
 				if err := f.Truncate(seg.size); err != nil {
@@ -292,12 +365,15 @@ func (s *Store) openSegment(id uint64, last bool) (*segment, error) {
 				}
 				break
 			}
+			if !locked && end == len(buf) {
+				break // live peer's final value, mid-append
+			}
 			s.corrupt.Add(1)
 			off = end
 			continue
 		}
 		vlen := uint32(end-off-headerSize) - uint32(len(key))
-		s.installLocked(key, loc{seg: id, off: int64(off), klen: uint32(len(key)), vlen: vlen})
+		s.installLocked(key, loc{seg: seg, off: int64(off), klen: uint32(len(key)), vlen: vlen})
 		off = end
 	}
 	return seg, nil
@@ -399,7 +475,7 @@ func (s *Store) Put(key string, val []byte) error {
 	}
 	off := active.size
 	active.size += int64(len(rec))
-	s.installLocked([]byte(key), loc{seg: active.id, off: off, klen: uint32(len(key)), vlen: uint32(len(val))})
+	s.installLocked([]byte(key), loc{seg: active, off: off, klen: uint32(len(key)), vlen: uint32(len(val))})
 	s.puts.Add(1)
 	s.bytesWritten.Add(int64(len(rec)))
 	if active.size >= s.segBytes {
@@ -431,7 +507,7 @@ func (s *Store) gcLocked() {
 		victim := s.segs[0]
 		var dropped int64
 		for d, l := range s.index {
-			if l.seg == victim.id {
+			if l.seg == victim {
 				delete(s.index, d)
 				dropped++
 			}
@@ -477,21 +553,11 @@ func (s *Store) Get(key string) ([]byte, bool) {
 		return nil, false
 	}
 	buf := make([]byte, headerSize+int(l.klen)+int(l.vlen))
-	var readErr error
-	found := false
-	for _, seg := range s.segs {
-		if seg.id == l.seg {
-			_, readErr = seg.f.ReadAt(buf, l.off)
-			found = true
-			break
-		}
-	}
+	_, readErr := l.seg.f.ReadAt(buf, l.off)
 	s.mu.RUnlock()
-	if !found || readErr != nil {
+	if readErr != nil {
 		s.misses.Add(1)
-		if found {
-			s.corrupt.Add(1)
-		}
+		s.corrupt.Add(1)
 		return nil, false
 	}
 	gotKey, val, _, ok := parseRecord(buf, 0)

@@ -337,10 +337,12 @@ func TestRecordFraming(t *testing.T) {
 	if crc := binary.LittleEndian.Uint32(data); crc != crc32.Checksum(data[4:], castagnoli) {
 		t.Fatal("stored CRC does not cover klen|vlen|key|value")
 	}
-	// Segment names sort lexically in id order.
+	// Segment names sort lexically in id order and carry the creating
+	// store's owner nonce: 0000000000000001-<8 hex>.seg.
 	names, _ := filepath.Glob(filepath.Join(dir, "*"+segSuffix))
 	sort.Strings(names)
-	if filepath.Base(names[0]) != "0000000000000001.seg" {
-		t.Fatalf("first segment named %s", filepath.Base(names[0]))
+	base := filepath.Base(names[0])
+	if ok, _ := filepath.Match("0000000000000001-????????.seg", base); !ok {
+		t.Fatalf("first segment named %s", base)
 	}
 }
