@@ -1,0 +1,224 @@
+// Package analysis implements axvet, the repo's project-specific
+// static-analysis suite. Every load-bearing guarantee the reproduction
+// rests on — bit-identical reports across worker counts, collision-free
+// ConfigKey/disk-key content addressing, cancellable worker loops, and
+// the bounds-check-free tiled kernels — started life as a review
+// convention enforced only by example-based tests. The analyzers here
+// turn those conventions into machine-checked laws with file:line
+// diagnostics, so a new attack, executor, or codec cannot silently
+// break them.
+//
+// The driver is dependency-free: stdlib go/parser and go/types with a
+// module-aware importer (see load.go), no x/tools. Analyzers are
+// registered in Analyzers(); cmd/axvet runs them over ./internal/...
+// and ./cmd/... and exits nonzero on findings. Intentional violations
+// are suppressed in place with a comment on, or immediately above, the
+// flagged line:
+//
+//	//axvet:ignore determinism -- wall-clock metadata, normalized in merge
+//
+// naming one or more analyzers (comma-separated); everything after
+// "--" is a human-readable justification. The bounds-check gate
+// (bcegate.go) is a separate build-driven mode, axvet -bce, because it
+// inspects compiler output rather than the AST.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, addressed by position. The JSON form is
+// what axvet -json emits for the CI findings artifact.
+type Diagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// String renders the go-vet-style file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+}
+
+// Analyzer is one project contract checker. Run inspects a single
+// type-checked package through its Pass and reports findings.
+type Analyzer struct {
+	Name string
+	// Doc is the one-line contract statement shown by axvet -list and
+	// the README table.
+	Doc string
+	Run func(*Pass)
+}
+
+// Pass hands one package to one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzers returns the registered AST/type analyzers in stable order.
+// The bounds-check gate is not listed here: it drives the compiler,
+// not the syntax tree (see RunBCE).
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		DeterminismAnalyzer,
+		CacheKeyAnalyzer,
+		CtxHygieneAnalyzer,
+	}
+}
+
+// ByName resolves a registered analyzer.
+func ByName(name string) (*Analyzer, bool) {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return nil, false
+}
+
+// Run executes the given analyzers over the loaded packages and
+// returns the surviving findings, sorted by position. Findings whose
+// line (or the line immediately above) carries a matching
+// //axvet:ignore comment are dropped.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				diags:    &diags,
+			}
+			a.Run(pass)
+		}
+		diags = suppress(diags, pkg)
+	}
+	sort.Slice(diags, func(i, k int) bool {
+		a, b := diags[i], diags[k]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// ignoreDirective parses an //axvet:ignore comment, returning the
+// named analyzers (nil if the comment is not a directive).
+func ignoreDirective(text string) []string {
+	const prefix = "//axvet:ignore"
+	if !strings.HasPrefix(text, prefix) {
+		return nil
+	}
+	rest := strings.TrimSpace(text[len(prefix):])
+	// Strip the optional "-- reason" trailer.
+	if i := strings.Index(rest, "--"); i >= 0 {
+		rest = strings.TrimSpace(rest[:i])
+	}
+	if rest == "" {
+		return nil
+	}
+	var names []string
+	for _, n := range strings.Split(rest, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	return names
+}
+
+// suppress filters out diagnostics covered by //axvet:ignore comments
+// in the package's files: a directive suppresses the named analyzers
+// on its own line and on the line directly below it (the usual
+// comment-above-the-statement placement).
+func suppress(diags []Diagnostic, pkg *Package) []Diagnostic {
+	// file -> line -> analyzer names ignored there.
+	ignored := map[string]map[int]map[string]bool{}
+	mark := func(file string, line int, names []string) {
+		if ignored[file] == nil {
+			ignored[file] = map[int]map[string]bool{}
+		}
+		for _, offset := range []int{0, 1} {
+			l := line + offset
+			if ignored[file][l] == nil {
+				ignored[file][l] = map[string]bool{}
+			}
+			for _, n := range names {
+				ignored[file][l][n] = true
+			}
+		}
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names := ignoreDirective(c.Text)
+				if names == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				mark(pos.Filename, pos.Line, names)
+			}
+		}
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if lines, ok := ignored[d.File]; ok {
+			if names, ok := lines[d.Line]; ok && names[d.Analyzer] {
+				continue
+			}
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}
+
+// pathIn reports whether pkgPath is one of (or nested under one of)
+// the scope roots — the helper every scoped analyzer shares. Packages
+// under a testdata directory are always in scope: they are invisible
+// to wildcard loading and only reached by the analyzer tests, whose
+// fixtures must exercise the scoped checks.
+func pathIn(pkgPath string, scope []string) bool {
+	if strings.Contains(pkgPath, "/testdata/") {
+		return true
+	}
+	for _, s := range scope {
+		if pkgPath == s || strings.HasPrefix(pkgPath, s+"/") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,174 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// CacheKeyAnalyzer enforces the content-addressing contract. The cache
+// (memory and disk tiers) and the service's job dedup both identify
+// work by strings derived from attack/defense configuration, so two
+// distinct behaviours mapping to one key silently poisons results —
+// the bug class fixed by hand twice before this analyzer existed. Two
+// rules: (A) every exported field of a type that defines ConfigKey or
+// SamplerKey must be read somewhere in that method (a field that can
+// change behaviour without changing the key is a collision); (B) every
+// *DiskKey constructor must build its key from a literal with a
+// name/vN version prefix (craft/v1|…), so on-disk formats can evolve
+// without misreading old entries.
+var CacheKeyAnalyzer = &Analyzer{
+	Name: "cachekey",
+	Doc:  "config-key methods must cover every exported field; disk-key constructors must version-prefix",
+	Run:  runCacheKey,
+}
+
+// keyMethodNames are the identity-method names the cache and dedup
+// layers consume (attack.Configurable and attack.Sampler).
+var keyMethodNames = map[string]bool{"ConfigKey": true, "SamplerKey": true}
+
+func runCacheKey(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if fn.Recv != nil && keyMethodNames[fn.Name.Name] && returnsString(fn) {
+				checkKeyMethod(pass, fn)
+			}
+			if fn.Recv == nil && strings.HasSuffix(fn.Name.Name, "DiskKey") && returnsString(fn) {
+				checkDiskKey(pass, fn)
+			}
+		}
+	}
+}
+
+func returnsString(fn *ast.FuncDecl) bool {
+	res := fn.Type.Results
+	if res == nil || len(res.List) == 0 {
+		return false
+	}
+	id, ok := res.List[0].Type.(*ast.Ident)
+	return ok && id.Name == "string"
+}
+
+// checkKeyMethod verifies rule A for one ConfigKey/SamplerKey method:
+// every exported field of the receiver's struct type must be selected
+// somewhere in the body.
+func checkKeyMethod(pass *Pass, fn *ast.FuncDecl) {
+	st := receiverStruct(pass, fn)
+	if st == nil {
+		return
+	}
+	used := map[string]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if s, ok := pass.Info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+			used[sel.Sel.Name] = true
+		}
+		return true
+	})
+	for i := 0; i < st.NumFields(); i++ {
+		field := st.Field(i)
+		if !field.Exported() || used[field.Name()] {
+			continue
+		}
+		pass.Reportf(fn.Name.Pos(),
+			"%s does not read exported field %s: a field that changes behaviour without changing the key poisons the cache (fold it in, or //axvet:ignore cachekey with why it is key-irrelevant)",
+			fn.Name.Name, field.Name())
+	}
+}
+
+// receiverStruct resolves the method receiver to its underlying struct
+// type (through one level of pointer), nil if it is not a struct.
+func receiverStruct(pass *Pass, fn *ast.FuncDecl) *types.Struct {
+	if len(fn.Recv.List) == 0 {
+		return nil
+	}
+	t := pass.Info.Types[fn.Recv.List[0].Type].Type
+	if t == nil {
+		// Receiver types carry no Types entry in some go/types
+		// versions; fall back to the declared object.
+		names := fn.Recv.List[0].Names
+		if len(names) == 1 {
+			if obj, ok := pass.Info.Defs[names[0]]; ok && obj != nil {
+				t = obj.Type()
+			}
+		}
+	}
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, _ := t.Underlying().(*types.Struct)
+	return st
+}
+
+// diskKeyPrefix matches the mandatory version prefix: a codec name, a
+// version, and a field separator — e.g. "craft/v1|" or "job/v2/".
+var diskKeyPrefix = regexp.MustCompile(`^[A-Za-z0-9_.-]+/v[0-9]+[|/]`)
+
+// checkDiskKey verifies rule B for one *DiskKey constructor: every
+// return statement's key operand must be a compile-time-visible string
+// whose value carries a version prefix. An empty string is the
+// conventional "not cacheable" sentinel and is allowed.
+func checkDiskKey(pass *Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // closure returns are not the constructor's
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) == 0 {
+			return true
+		}
+		expr := ret.Results[0]
+		lit, ok := keyLiteral(pass, expr)
+		if !ok {
+			pass.Reportf(expr.Pos(),
+				"%s returns a key that is not built from a literal format string; disk keys must start with a name/vN version prefix so the codec can evolve", fn.Name.Name)
+			return true
+		}
+		if lit != "" && !diskKeyPrefix.MatchString(lit) {
+			pass.Reportf(expr.Pos(),
+				"%s key %q lacks a name/vN version prefix (like craft/v1|); bump the version whenever the encoded layout changes", fn.Name.Name, lit)
+		}
+		return true
+	})
+}
+
+// keyLiteral extracts the compile-time-visible head of a key
+// expression: a string literal, a constant, fmt.Sprintf's format
+// string, or a + concatenation whose leftmost operand is one of those.
+func keyLiteral(pass *Pass, expr ast.Expr) (string, bool) {
+	if tv, ok := pass.Info.Types[expr]; ok && tv.Value != nil {
+		return constStr(tv.Value.ExactString()), true
+	}
+	switch e := expr.(type) {
+	case *ast.BinaryExpr:
+		return keyLiteral(pass, e.X)
+	case *ast.CallExpr:
+		if pkg, name := pkgFunc(pass, e); pkg == "fmt" && strings.HasPrefix(name, "Sprint") && len(e.Args) > 0 {
+			return keyLiteral(pass, e.Args[0])
+		}
+	case *ast.ParenExpr:
+		return keyLiteral(pass, e.X)
+	}
+	return "", false
+}
+
+// constStr unquotes a go/constant ExactString if it is a quoted
+// string, else returns it unchanged.
+func constStr(s string) string {
+	if u, err := strconv.Unquote(s); err == nil {
+		return u
+	}
+	return s
+}

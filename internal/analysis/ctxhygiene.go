@@ -1,0 +1,283 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ctxScope is where goroutines are long-lived enough to need a
+// lifecycle: the executor/service layers plus the compute packages
+// that fan work out across workers.
+var ctxScope = []string{
+	"repro/internal/core",
+	"repro/internal/experiment",
+	"repro/internal/axnn",
+	"repro/internal/service",
+	"repro/internal/store",
+}
+
+// CtxHygieneAnalyzer enforces the shutdown contract: every goroutine
+// the service/executor layers spawn must be joinable or cancellable —
+// it must select on a channel, use a context, participate in a
+// WaitGroup, or guard itself with recover. A goroutine with none of
+// those signals outlives Close/Drain and leaks past test teardown.
+// Additionally, an unconditional for-loop inside a spawned goroutine
+// must re-check its cancellation signal (ctx, a channel op, or select)
+// inside the loop body, not just once before entering it.
+//
+// The check follows one level of calls: `go m.worker()` is judged by
+// worker's body, and `go func() { defer wg.Done(); work() }()` also
+// scans the local closure bound to work.
+var CtxHygieneAnalyzer = &Analyzer{
+	Name: "ctxhygiene",
+	Doc:  "spawned goroutines need a cancellation/join signal; unbounded loops must re-check it",
+	Run:  runCtxHygiene,
+}
+
+func runCtxHygiene(pass *Pass) {
+	if !pathIn(pass.Pkg.Path(), ctxScope) {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			closures := localClosures(pass, fn.Body)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				gs, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				checkGoStmt(pass, gs, closures)
+				return true
+			})
+		}
+	}
+}
+
+// localClosures maps objects bound by `name := func(...) {...}` (or
+// var name = func...) in body to their function literals, so the
+// goroutine check can see through one level of helper-closure calls.
+func localClosures(pass *Pass, body *ast.BlockStmt) map[types.Object]*ast.FuncLit {
+	m := map[types.Object]*ast.FuncLit{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			lit, ok := rhs.(*ast.FuncLit)
+			if !ok || i >= len(as.Lhs) {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok {
+				if obj := pass.Info.Defs[id]; obj != nil {
+					m[obj] = lit
+				}
+			}
+		}
+		return true
+	})
+	return m
+}
+
+func checkGoStmt(pass *Pass, gs *ast.GoStmt, closures map[types.Object]*ast.FuncLit) {
+	bodies := goBodies(pass, gs, closures)
+	if len(bodies) == 0 {
+		return // spawning an imported or dynamic function; nothing to judge
+	}
+	if !anySignal(pass, bodies) {
+		pass.Reportf(gs.Pos(),
+			"goroutine has no cancellation, channel, WaitGroup, or recover path: it cannot be joined or stopped, so Close/Drain and test teardown race it")
+		return
+	}
+	for _, b := range bodies {
+		checkUnboundedLoops(pass, b)
+	}
+}
+
+// goBodies collects the bodies reachable one call-level deep from the
+// go statement: the spawned func literal or same-package function
+// declaration, plus any local closures or same-package functions it
+// calls directly.
+func goBodies(pass *Pass, gs *ast.GoStmt, closures map[types.Object]*ast.FuncLit) []*ast.BlockStmt {
+	var bodies []*ast.BlockStmt
+	root := calleeBody(pass, gs.Call.Fun, closures)
+	if root == nil {
+		return nil
+	}
+	bodies = append(bodies, root)
+	ast.Inspect(root, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if b := calleeBody(pass, call.Fun, closures); b != nil && b != root {
+			bodies = append(bodies, b)
+		}
+		return true
+	})
+	return bodies
+}
+
+// calleeBody resolves a call/goroutine target expression to a function
+// body when it is statically visible: a literal, a local closure, or a
+// function/method declared in this package.
+func calleeBody(pass *Pass, fun ast.Expr, closures map[types.Object]*ast.FuncLit) *ast.BlockStmt {
+	switch f := fun.(type) {
+	case *ast.FuncLit:
+		return f.Body
+	case *ast.ParenExpr:
+		return calleeBody(pass, f.X, closures)
+	case *ast.Ident:
+		obj := pass.Info.Uses[f]
+		if lit, ok := closures[obj]; ok {
+			return lit.Body
+		}
+		return declBody(pass, obj)
+	case *ast.SelectorExpr:
+		return declBody(pass, pass.Info.Uses[f.Sel])
+	}
+	return nil
+}
+
+// declBody finds the FuncDecl body for a function or method object
+// declared in the package under analysis.
+func declBody(pass *Pass, obj types.Object) *ast.BlockStmt {
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg() != pass.Pkg {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != fn.Name() {
+				continue
+			}
+			if pass.Info.Defs[fd.Name] == obj {
+				return fd.Body
+			}
+		}
+	}
+	return nil
+}
+
+// anySignal reports whether any body contains a lifecycle signal.
+func anySignal(pass *Pass, bodies []*ast.BlockStmt) bool {
+	for _, b := range bodies {
+		if hasSignal(pass, b, false) {
+			return true
+		}
+	}
+	return false
+}
+
+// hasSignal scans one body for lifecycle signals. When loopOnly is
+// true, only signals that re-check cancellation count (WaitGroup.Done
+// and recover announce completion, they do not bound a loop).
+func hasSignal(pass *Pass, body ast.Node, loopOnly bool) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SelectStmt:
+			found = true
+		case *ast.SendStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if isChanRecv(pass, n) {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t := pass.Info.Types[n.X].Type; t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = true
+				}
+			}
+		case *ast.Ident:
+			if isContextValue(pass, n) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if !loopOnly && (isWaitGroupCall(pass, n) || isBuiltin(pass, n, "recover")) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isChanRecv(pass *Pass, u *ast.UnaryExpr) bool {
+	if u.Op.String() != "<-" {
+		return false
+	}
+	t := pass.Info.Types[u.X].Type
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// isContextValue reports whether the identifier denotes a value of
+// type context.Context (ctx.Done(), ctx.Err(), or just forwarding ctx
+// all count — the goroutine observably holds a cancellation handle).
+func isContextValue(pass *Pass, id *ast.Ident) bool {
+	obj := pass.Info.Uses[id]
+	if obj == nil {
+		return false
+	}
+	if _, ok := obj.(*types.Var); !ok {
+		return false
+	}
+	named, ok := obj.Type().(*types.Named)
+	if !ok {
+		return false
+	}
+	tn := named.Obj()
+	return tn.Name() == "Context" && tn.Pkg() != nil && tn.Pkg().Path() == "context"
+}
+
+func isWaitGroupCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Done" && sel.Sel.Name != "Wait" && sel.Sel.Name != "Add") {
+		return false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	rt := sig.Recv().Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	return ok && named.Obj().Name() == "WaitGroup" && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "sync"
+}
+
+// checkUnboundedLoops flags `for { ... }` loops (no condition) inside
+// a goroutine body whose own body never re-checks a cancellation
+// signal: such a loop spins forever even after the context is
+// cancelled and every channel is drained.
+func checkUnboundedLoops(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		fs, ok := n.(*ast.ForStmt)
+		if !ok || fs.Cond != nil || fs.Init != nil || fs.Post != nil {
+			return true
+		}
+		if !hasSignal(pass, fs.Body, true) {
+			pass.Reportf(fs.Pos(),
+				"unbounded for-loop in goroutine never re-checks ctx.Done() or a channel inside the loop body; cancellation cannot stop it")
+		}
+		return true
+	})
+}

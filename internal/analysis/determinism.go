@@ -1,0 +1,283 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// determinismScope names the packages whose outputs must be
+// bit-identical across runs, worker counts, and shards: everything
+// that feeds report rows, event streams, cache keys, or hash inputs.
+var determinismScope = []string{
+	"repro/internal/core",
+	"repro/internal/experiment",
+	"repro/internal/attack",
+	"repro/internal/axnn",
+	"repro/internal/service",
+	"repro/internal/store",
+}
+
+// DeterminismAnalyzer enforces the bit-identical-results contract
+// (reports are byte-identical across worker counts and shards, pinned
+// by the merge-equivalence tests): inside the scoped packages it
+// forbids time.Now, the process-global math/rand source, and map
+// iteration whose per-iteration effects are order-sensitive — ordered
+// accumulation into slices or strings, float accumulation, hash or
+// stream writes, channel sends. Collecting map keys and sorting them
+// before use is the sanctioned idiom and is not flagged. Sites that
+// are deliberate (wall-clock event metadata, proven order-insensitive
+// folds) carry //axvet:ignore determinism with a justification.
+var DeterminismAnalyzer = &Analyzer{
+	Name: "determinism",
+	Doc:  "forbid wall-clock, global rand, and order-sensitive map iteration in result-affecting packages",
+	Run:  runDeterminism,
+}
+
+func runDeterminism(pass *Pass) {
+	if !pathIn(pass.Pkg.Path(), determinismScope) {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				checkForbiddenCall(pass, call)
+			}
+			if fn, ok := n.(*ast.FuncDecl); ok && fn.Body != nil {
+				checkMapRanges(pass, fn.Body)
+			}
+			return true
+		})
+	}
+}
+
+// pkgFunc resolves a call to a package-level function, returning its
+// package path and name ("", "" otherwise).
+func pkgFunc(pass *Pass, call *ast.CallExpr) (pkgPath, name string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	obj, ok := pass.Info.Uses[sel.Sel]
+	if !ok {
+		return "", ""
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", ""
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return "", ""
+	}
+	return fn.Pkg().Path(), fn.Name()
+}
+
+// globalRandFuncs are the math/rand package-level functions that draw
+// from (or reseed) the shared global source.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true,
+	"NormFloat64": true, "Perm": true, "Shuffle": true, "Read": true,
+	"Seed": true, "N": true, "IntN": true, "Int32N": true, "Int64N": true,
+}
+
+func checkForbiddenCall(pass *Pass, call *ast.CallExpr) {
+	pkgPath, name := pkgFunc(pass, call)
+	switch {
+	case pkgPath == "time" && name == "Now":
+		pass.Reportf(call.Pos(),
+			"time.Now in a determinism-scoped package: wall-clock must never reach report rows, event payloads, cache keys, or hash inputs (//axvet:ignore determinism for metadata-only sites)")
+	case (pkgPath == "math/rand" || pkgPath == "math/rand/v2") && globalRandFuncs[name]:
+		pass.Reportf(call.Pos(),
+			"%s.%s draws from the process-global source: crafting and scheduling must use an explicitly seeded *rand.Rand so runs replay bit-identically", pkgPath, name)
+	}
+}
+
+// checkMapRanges walks one function body, flagging range-over-map
+// loops whose bodies have order-sensitive effects.
+func checkMapRanges(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.Info.Types[rs.X].Type
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkMapRangeBody(pass, rs, body)
+		return true
+	})
+}
+
+// checkMapRangeBody reports order-sensitive sinks inside one
+// range-over-map body. fnBody is the enclosing function body, used to
+// recognise the collect-keys-then-sort idiom.
+func checkMapRangeBody(pass *Pass, rs *ast.RangeStmt, fnBody *ast.BlockStmt) {
+	outer := func(e ast.Expr) bool { return declaredOutside(pass, e, rs) }
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			checkMapRangeAssign(pass, rs, fnBody, n, outer)
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(),
+				"channel send inside map iteration: receivers observe map order; iterate a sorted key slice instead")
+		case *ast.CallExpr:
+			checkMapRangeCall(pass, n)
+		}
+		return true
+	})
+}
+
+func checkMapRangeAssign(pass *Pass, rs *ast.RangeStmt, fnBody *ast.BlockStmt, as *ast.AssignStmt, outer func(ast.Expr) bool) {
+	switch as.Tok {
+	case token.ASSIGN, token.DEFINE:
+		// x = append(x, ...) into a variable that outlives the loop
+		// accumulates in map order.
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || !isBuiltin(pass, call, "append") || i >= len(as.Lhs) {
+				continue
+			}
+			lhs := as.Lhs[i]
+			if !outer(lhs) {
+				continue
+			}
+			if target, ok := lhs.(*ast.Ident); ok && sortedAfter(pass, fnBody, rs, target) {
+				continue // collect-then-sort idiom
+			}
+			pass.Reportf(as.Pos(),
+				"append inside map iteration accumulates in map order; sort the keys first (or sort the result before it is consumed)")
+		}
+	case token.ADD_ASSIGN:
+		// Compound addition is order-sensitive for floats (rounding
+		// depends on summation order) and strings (concatenation);
+		// integer accumulation commutes exactly and is allowed.
+		lhs := as.Lhs[0]
+		t := pass.Info.Types[lhs].Type
+		if t == nil || !outer(lhs) {
+			return
+		}
+		switch b := t.Underlying().(type) {
+		case *types.Basic:
+			switch {
+			case b.Info()&types.IsFloat != 0 || b.Info()&types.IsComplex != 0:
+				pass.Reportf(as.Pos(),
+					"float accumulation inside map iteration: rounding depends on map order; accumulate over a sorted key slice")
+			case b.Info()&types.IsString != 0:
+				pass.Reportf(as.Pos(),
+					"string concatenation inside map iteration builds an order-dependent value; sort the keys first")
+			}
+		}
+	}
+}
+
+func checkMapRangeCall(pass *Pass, call *ast.CallExpr) {
+	// Writes to an io.Writer-shaped sink (hash.Hash, bytes.Buffer,
+	// files) inside map iteration feed the stream in map order.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Write" {
+		if obj, ok := pass.Info.Uses[sel.Sel].(*types.Func); ok {
+			if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil && isWriteSig(sig) {
+				pass.Reportf(call.Pos(),
+					"Write inside map iteration feeds a hash/stream in map order; write from a sorted key slice")
+				return
+			}
+		}
+	}
+	if pkgPath, name := pkgFunc(pass, call); pkgPath == "fmt" &&
+		(name == "Fprintf" || name == "Fprint" || name == "Fprintln") {
+		pass.Reportf(call.Pos(),
+			"fmt.%s inside map iteration emits lines in map order; iterate a sorted key slice", name)
+	}
+}
+
+// isWriteSig matches func([]byte) (int, error) — io.Writer's method.
+func isWriteSig(sig *types.Signature) bool {
+	if sig.Params().Len() != 1 || sig.Results().Len() != 2 {
+		return false
+	}
+	s, ok := sig.Params().At(0).Type().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+func isBuiltin(pass *Pass, call *ast.CallExpr, name string) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = pass.Info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// declaredOutside reports whether the root of e (identifier, or the
+// base of selector/index chains) is declared outside the range body —
+// i.e. whether writes through it survive the loop. Selectors on
+// receivers and captured variables count as outside.
+func declaredOutside(pass *Pass, e ast.Expr, rs *ast.RangeStmt) bool {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			obj := pass.Info.Uses[x]
+			if obj == nil {
+				obj = pass.Info.Defs[x]
+			}
+			if obj == nil {
+				return false
+			}
+			return obj.Pos() < rs.Body.Pos() || obj.Pos() > rs.Body.End()
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}
+
+// sortedAfter reports whether target is passed to a sort call
+// somewhere after the range loop in the enclosing function — the
+// collect-keys-then-sort idiom.
+func sortedAfter(pass *Pass, fnBody *ast.BlockStmt, rs *ast.RangeStmt, target *ast.Ident) bool {
+	tobj := pass.Info.Uses[target]
+	if tobj == nil {
+		tobj = pass.Info.Defs[target]
+	}
+	if tobj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() || found {
+			return true
+		}
+		pkgPath, name := pkgFunc(pass, call)
+		isSort := (pkgPath == "sort" || pkgPath == "slices") &&
+			(name == "Sort" || name == "SortFunc" || name == "SortStableFunc" ||
+				name == "Strings" || name == "Ints" || name == "Float64s" ||
+				name == "Slice" || name == "SliceStable" || name == "Stable")
+		if !isSort {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := arg.(*ast.Ident); ok && pass.Info.Uses[id] == tobj {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,28 @@
+// Package bcetest is the bounds-check gate's fixture: a seeded
+// per-element bounds check, the sanctioned reslice fix, and a
+// data-dependent site covered by the test policy's allowlist.
+package bcetest
+
+// hot seeds the violation: the compiler cannot relate len(b) to
+// len(a), so b[i] keeps its per-element check.
+func hot(a, b []int32) {
+	for i := range a {
+		a[i] += b[i]
+	}
+}
+
+// pinned is the sanctioned fix and must stay silent.
+func pinned(a, b []int32) {
+	b = b[:len(a)]
+	for i := range a {
+		a[i] += b[i]
+	}
+}
+
+// scatter indexes by data: unprovable by design, allowlisted in
+// bcetest_policy.txt.
+func scatter(a []int32, idx []uint32) {
+	for _, i := range idx {
+		a[i]++
+	}
+}

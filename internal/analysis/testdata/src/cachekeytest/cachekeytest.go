@@ -1,0 +1,86 @@
+// Package cachekeytest is the cachekey analyzer's fixture: seeded
+// key-coverage and version-prefix violations next to compliant
+// shapes that must stay silent.
+package cachekeytest
+
+import "fmt"
+
+// Complete covers every exported field: silent.
+type Complete struct {
+	Steps   int
+	RelStep float64
+	name    string // unexported: never required
+}
+
+func (c *Complete) ConfigKey() string {
+	return fmt.Sprintf("complete|steps=%d|rel=%g", c.Steps, c.RelStep)
+}
+
+// Leaky omits Mu from its key: one diagnostic on the method.
+type Leaky struct {
+	Steps int
+	Mu    float64
+}
+
+func (l *Leaky) ConfigKey() string { // want cachekey: Mu not read
+	return fmt.Sprintf("leaky|steps=%d", l.Steps)
+}
+
+// SamplerLeaky exercises the SamplerKey spelling of the same rule.
+type SamplerLeaky struct {
+	Draws int
+}
+
+func (s SamplerLeaky) SamplerKey() string { // want cachekey: Draws not read
+	return "sampler-leaky"
+}
+
+// Waived documents a key-irrelevant field with a suppression: silent.
+type Waived struct {
+	Steps   int
+	Verbose bool
+}
+
+//axvet:ignore cachekey -- fixture: Verbose only toggles logging, never the crafted bytes
+func (w *Waived) ConfigKey() string {
+	return fmt.Sprintf("waived|steps=%d", w.Steps)
+}
+
+// indirectCover reads a field through a local copy: silent (the
+// selection is what counts, not the receiver expression).
+type Indirect struct {
+	Eps float64
+}
+
+func (i *Indirect) ConfigKey() string {
+	c := *i
+	return fmt.Sprintf("indirect|eps=%g", c.Eps)
+}
+
+// goodDiskKey carries the mandatory name/vN prefix: silent. The empty
+// string is the "not cacheable" sentinel and is also allowed.
+func goodDiskKey(id string, ok bool) string {
+	if !ok {
+		return ""
+	}
+	return fmt.Sprintf("fix/v1|id=%s", id)
+}
+
+// constDiskKey builds from a versioned constant: silent.
+const fixPrefix = "fix/v2|"
+
+func constDiskKey(id string) string {
+	return fixPrefix + id
+}
+
+// unversionedDiskKey lacks the prefix: one diagnostic.
+func unversionedDiskKey(id string) string {
+	return fmt.Sprintf("fix|id=%s", id) // want cachekey: missing version prefix
+}
+
+// opaqueDiskKey returns something axvet cannot see through: one
+// diagnostic (unverifiable keys are findings, not passes).
+func opaqueDiskKey(parts []string) string {
+	k := parts[0]
+	return k // want cachekey: not a literal
+}

@@ -1,0 +1,100 @@
+// Package ctxtest is the ctxhygiene analyzer's fixture: goroutines
+// with and without lifecycle signals, and unbounded loops with and
+// without a cancellation re-check.
+package ctxtest
+
+import (
+	"context"
+	"sync"
+)
+
+type pool struct {
+	queue chan int
+	wg    sync.WaitGroup
+}
+
+// nakedGoroutine has no signal at all: one diagnostic.
+func nakedGoroutine(n *int) {
+	go func() { // want ctxhygiene: no signal
+		*n++
+	}()
+}
+
+// ctxGoroutine is silent: it holds a cancellation handle.
+func ctxGoroutine(ctx context.Context, n *int) {
+	go func() {
+		if ctx.Err() == nil {
+			*n++
+		}
+	}()
+}
+
+// methodWorker is silent: `go p.worker()` resolves to the declared
+// method body, which ranges over a channel.
+func (p *pool) methodWorker() {
+	go p.worker()
+}
+
+func (p *pool) worker() {
+	for v := range p.queue {
+		_ = v
+	}
+}
+
+// closureExpansion is silent: the spawned literal only calls a local
+// closure, and the closure selects on ctx.Done. One level of
+// expansion must see through this.
+func closureExpansion(ctx context.Context) {
+	work := func() {
+		select {
+		case <-ctx.Done():
+		default:
+		}
+	}
+	go func() {
+		work()
+	}()
+}
+
+// waitGroupGoroutine is silent: Done participates in a join.
+func (p *pool) waitGroupGoroutine(n *int) {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		*n++
+	}()
+}
+
+// spinningLoop has a WaitGroup signal but its unbounded loop never
+// re-checks anything: one diagnostic on the for statement.
+func (p *pool) spinningLoop(n *int) {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		for { // want ctxhygiene: unbounded loop
+			*n++
+		}
+	}()
+}
+
+// recheckedLoop is silent: the loop body selects every iteration.
+func recheckedLoop(ctx context.Context, ticks chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticks:
+			}
+		}
+	}()
+}
+
+// suppressedGoroutine is silent: the directive covers the go
+// statement.
+func suppressedGoroutine(n *int) {
+	//axvet:ignore ctxhygiene -- fixture: process-lifetime helper
+	go func() {
+		*n++
+	}()
+}

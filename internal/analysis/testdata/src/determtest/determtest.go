@@ -1,0 +1,81 @@
+// Package determtest is the determinism analyzer's fixture: each
+// "want" comment below marks a line the golden file expects a
+// diagnostic on; the unmarked cases are false-positive regressions
+// that must stay silent.
+package determtest
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+)
+
+// wallClock seeds the two forbidden-call violations.
+func wallClock() int64 {
+	t := time.Now()                        // want determinism: time.Now
+	return t.Unix() + int64(rand.Intn(10)) // want determinism: global rand
+}
+
+// seededRand must stay silent: an explicit source replays.
+func seededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// suppressedClock must stay silent: the ignore directive covers it.
+func suppressedClock() int64 {
+	//axvet:ignore determinism -- fixture: metadata-only site
+	return time.Now().Unix()
+}
+
+// mapOrderSinks seeds one violation per order-sensitive sink.
+func mapOrderSinks(m map[string]float64, ch chan string, f *os.File) ([]string, float64, string) {
+	var names []string
+	var total float64
+	var joined string
+	h := sha256.New()
+	for k, v := range m {
+		names = append(names, k)  // want determinism: append
+		total += v                // want determinism: float accumulation
+		joined += k               // want determinism: string concatenation
+		ch <- k                   // want determinism: channel send
+		h.Write([]byte(k))        // want determinism: hash write
+		fmt.Fprintf(f, "%s\n", k) // want determinism: stream write
+	}
+	return names, total, joined
+}
+
+// collectThenSort must stay silent: the keys are sorted before use.
+func collectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// intFold must stay silent: integer addition commutes exactly.
+func intFold(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// localAccumulator must stay silent: nothing escapes the iteration.
+func localAccumulator(m map[string][]int) int {
+	worst := 0
+	for _, vs := range m {
+		local := []int{}
+		local = append(local, vs...)
+		if len(local) > worst {
+			worst = len(local)
+		}
+	}
+	return worst
+}

@@ -558,6 +558,7 @@ func sparseBlock2(lutT []uint16, nz []uint32, nzOff []int32, kk int, zaCode uint
 		base0 += int32(t[uint16(w0[q])<<8|za])
 		base1 += int32(t[uint16(w1[q])<<8|za])
 	}
+	a1 = a1[:len(a0)] // i < len(a0) == len(a1): fill loop stays check-free
 	for i := range a0 {
 		a0[i] = base0
 		a1[i] = base1

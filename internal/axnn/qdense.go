@@ -95,13 +95,17 @@ func (d *qDense) forward(net *Network, ws *workspace, in qtensor) (qtensor, []fl
 					b[o] += int32(row[wc])
 				}
 			}
+			// Pin the epilogue operands to len(acc) so the o indexes
+			// are provably in-bounds (axvet -bce gates this loop).
+			sv, wSum, bias := sVals[:len(acc)], d.wSum[:len(acc)], d.bias[:len(acc)]
 			for o, a := range acc {
-				sVals[o] = float32(a+fixed-za*d.wSum[o])*scale + d.bias[o]
+				sv[o] = float32(a+fixed-za*wSum[o])*scale + bias[o]
 			}
 			continue
 		}
 		for o := 0; o < d.out; o++ {
 			w := d.wCodes[o*d.in : (o+1)*d.in]
+			w = w[:len(xd)] // i < len(xd) == len(w): per-MAC bounds check eliminated
 			var acc int32
 			for i, a := range xd {
 				acc += int32(a) * int32(w[i])
@@ -113,8 +117,9 @@ func (d *qDense) forward(net *Network, ws *workspace, in qtensor) (qtensor, []fl
 		return qtensor{}, vals
 	}
 	out := qtensor{n: in.n, shape: []int{d.out}, data: ws.nextAct(in.n * d.out), qp: d.outQP}
+	dst := out.data[:len(vals)]
 	for i, v := range vals {
-		out.data[i] = d.outQP.Quantize(v)
+		dst[i] = d.outQP.Quantize(v)
 	}
 	return out, nil
 }

@@ -85,6 +85,7 @@ func (e *Engine) Cache() *core.Cache { return e.cache }
 func (e *Engine) emit(ev Event) {
 	if e.onEvent != nil {
 		if ev.Time.IsZero() {
+			//axvet:ignore determinism -- observability timestamp on the event envelope; never in report rows, and merge-equivalence tests normalize Time
 			ev.Time = time.Now()
 		}
 		e.onEvent(ev)

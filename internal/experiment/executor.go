@@ -137,6 +137,7 @@ func (x *LocalExecutor) Execute(ctx context.Context, run *PlanRun) (*Report, err
 	runCraft := func(ci int) {
 		cell := plan.Cells[ci]
 		st := &states[ci]
+		//axvet:ignore determinism -- wall-clock start for the ElapsedMS metric, which report comparisons normalize
 		st.start = time.Now()
 		run.emit(Event{Kind: CellStarted, Suite: plan.spec.Name, Attack: cell.Attack, Eps: cell.Eps, Cell: cell.Index, Cells: plan.Total})
 		adv, hit, err := run.cache.CraftedBatch(ctx, run.src, run.test, run.atks[cell.Grid], cell.Eps, run.opts)

@@ -171,6 +171,7 @@ func (j *job) record(ev experiment.Event) {
 		ev.Suite = j.spec.Name
 	}
 	if ev.Time.IsZero() {
+		//axvet:ignore determinism -- observability timestamp on the event envelope; replay comparisons normalize Time
 		ev.Time = time.Now()
 	}
 	j.mu.Lock()
@@ -188,7 +189,7 @@ func (j *job) record(ev experiment.Event) {
 func (j *job) finishLocked(state State, elapsed time.Duration, err error) {
 	j.state = state
 	j.err = err
-	j.finished = time.Now()
+	j.finished = time.Now() //axvet:ignore determinism -- job lifecycle metadata for status queries, not part of any result
 	ev := experiment.Event{
 		Kind:    experiment.SuiteFinished,
 		Time:    j.finished,
@@ -433,7 +434,7 @@ func (m *Manager) Submit(spec *experiment.Spec) (id string, created bool, err er
 		id:        id,
 		spec:      own,
 		state:     StateQueued,
-		submitted: time.Now(),
+		submitted: time.Now(), //axvet:ignore determinism -- job lifecycle metadata for status queries, not part of any result
 		done:      make(chan struct{}),
 	}
 	j.cond = sync.NewCond(&j.mu)
@@ -654,7 +655,7 @@ func (m *Manager) runJob(j *job) {
 	ctx, cancel := context.WithCancel(context.Background())
 	j.cancel = cancel
 	j.state = StateRunning
-	j.started = time.Now()
+	j.started = time.Now() //axvet:ignore determinism -- job lifecycle metadata for status queries, not part of any result
 	j.mu.Unlock()
 	defer cancel()
 
@@ -662,7 +663,7 @@ func (m *Manager) runJob(j *job) {
 		Kind:  experiment.SuiteStarted,
 		Cells: j.spec.CellCount(),
 	})
-	start := time.Now()
+	start := time.Now() //axvet:ignore determinism -- feeds the ElapsedMS metric only, which replay comparisons normalize
 	var rep *experiment.Report
 	plan, err := j.spec.Plan()
 	if err == nil {

@@ -82,6 +82,7 @@ type jobLog struct {
 // after failure) can never collide with an earlier attempt's event
 // keys.
 func newJobLog(s *store.Store, id string) *jobLog {
+	//axvet:ignore determinism -- generation stamp only orders WAL attempts of one job; event payloads never contain it
 	return &jobLog{s: s, id: id, gen: time.Now().UnixNano()}
 }
 
