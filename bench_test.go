@@ -35,6 +35,7 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/models"
 	"repro/internal/modelzoo"
+	"repro/internal/obs"
 	"repro/internal/store"
 	"repro/internal/tensor"
 	"repro/internal/train"
@@ -805,6 +806,60 @@ func BenchmarkWarmStoreCraft(b *testing.B) {
 	b.ReportMetric(float64(hits)/n, "cache-disk-hits")
 	b.ReportMetric(float64(misses)/n, "cache-disk-misses")
 	b.ReportMetric(float64(errs)/n, "cache-errors")
+}
+
+// BenchmarkTracedVsUntraced pins the observability layer's overhead:
+// the same small suite runs untraced (ref) and traced — recorder in
+// context, every span and histogram live — interleaved round by round
+// via pairedRel. The paired-rel ratio is the whole-suite cost of
+// tracing and should sit at ~1.0; it is recorded ungated in
+// BENCH_axnn.json so drift is visible in the committed trajectory
+// without a load-sensitive hard gate:
+//
+//	go test -run '^$' -bench 'TracedVsUntraced' -benchtime 1x -count=3 . |
+//	go run ./cmd/axbench -update BENCH_axnn.json
+func BenchmarkTracedVsUntraced(b *testing.B) {
+	tr := dataset.Digits(600, 61)
+	test := dataset.Digits(64, 62)
+	net := models.FFNN(28*28, 10, 63)
+	net.Name = "bench-traced"
+	train.Fit(net, tr, train.Config{Epochs: 1, Batch: 32, LR: 0.05, Momentum: 0.9, Seed: 2})
+	zoo := &modelzoo.Model{Net: net, Train: tr, Test: test, CleanAcc: 100 * train.Accuracy(net, test, 0)}
+	src := func(ctx context.Context, name string) (*modelzoo.Model, error) { return zoo, nil }
+
+	spec := &experiment.Spec{
+		Name:        "bench-traced",
+		Model:       "bench-traced",
+		Multipliers: []string{"mul8u_1JFF", "mul8u_JV3"},
+		Attacks:     []string{"FGM-linf", "PGD-linf", "BIM-linf"},
+		Eps:         []float64{0, 0.05, 0.1, 0.2},
+		Samples:     24,
+		Seed:        7,
+		Workers:     1,
+	}
+	if err := spec.Validate(); err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	// Fresh engines per round keep both variants crafting from scratch,
+	// so the ratio compares full pipelines, not cache lookups.
+	runSuite := func(ctx context.Context) {
+		eng := experiment.New(experiment.WithModelSource(src))
+		if _, err := eng.Run(ctx, spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	pairedRel(b,
+		func() { runSuite(ctx) },
+		func() {
+			rec := obs.NewRecorder(obs.DefaultSpanCap)
+			sctx, span := obs.Start(obs.WithRecorder(ctx, rec), "suite")
+			runSuite(sctx)
+			span.End()
+			if len(rec.Spans()) == 0 {
+				b.Fatal("traced variant recorded no spans")
+			}
+		})
 }
 
 // BenchmarkPlanExecutorVsSerial measures the cell-graph scheduler's

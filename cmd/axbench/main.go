@@ -99,6 +99,15 @@ const (
 
 func isPaired(name string) bool { return strings.HasSuffix(name, pairedSuffix) }
 
+// ungatedPaired names paired entries recorded for trajectory only:
+// their ratios move with core count or scheduler noise rather than
+// kernel quality, so they never hard-gate CI — policy in code, so a
+// from-scratch -update cannot silently re-gate them.
+var ungatedPaired = map[string]bool{
+	"BenchmarkPlanExecutorVsSerial" + pairedSuffix: true, // parallel/serial ratio depends on host cores
+	"BenchmarkTracedVsUntraced" + pairedSuffix:     true, // ~1.0 overhead ratio, within scheduler noise
+}
+
 // isSynthetic reports whether the entry holds a self-measured metric
 // value (ratio or count) rather than a ns/op time to normalise.
 func isSynthetic(name string) bool { return strings.Contains(name, "@") }
@@ -246,7 +255,7 @@ func build(groups []map[string]float64, prev *Baseline) (*Baseline, error) {
 		// ns/op); of those, only the paired ratios are gated by
 		// default. Plain entries record cross-window quotients for
 		// context.
-		e := &Entry{Rel: rel, Gate: isPaired(name)}
+		e := &Entry{Rel: rel, Gate: isPaired(name) && !ungatedPaired[name]}
 		if !isSynthetic(name) {
 			e.NsPerOp, _ = minNs(groups, name)
 		}

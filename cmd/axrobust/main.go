@@ -42,6 +42,7 @@ import (
 	"repro/internal/cli"
 	"repro/internal/experiment"
 	"repro/internal/modelzoo"
+	"repro/internal/obs"
 	"repro/internal/service"
 )
 
@@ -70,6 +71,7 @@ func main() {
 	format := flag.String("format", "text", "output format: text, json, csv")
 	progress := flag.Bool("progress", false, "stream per-cell progress to stderr")
 	server := flag.String("server", "", "submit to this axserve base URL instead of running locally")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON of the run to this file (chrome://tracing / Perfetto)")
 	flag.Parse()
 
 	outFormat, err := cli.ParseFormat(*format)
@@ -179,7 +181,7 @@ func main() {
 	defer stop()
 
 	if *server != "" {
-		runRemote(ctx, *server, spec, outFormat, *progress)
+		runRemote(ctx, *server, spec, outFormat, *progress, *tracePath)
 		return
 	}
 
@@ -192,12 +194,28 @@ func main() {
 	}
 	eng := experiment.New(engineOpts...)
 
-	rep, err := eng.Run(ctx, spec)
+	// With -trace, record the run's span tree under a local suite root
+	// and write it out as Chrome trace JSON. Tracing is observation
+	// only: the report bytes are identical either way.
+	var rec *obs.Recorder
+	runCtx := ctx
+	if *tracePath != "" {
+		rec = obs.NewRecorder(obs.DefaultSpanCap)
+		runCtx = obs.WithRecorder(ctx, rec)
+	}
+	sctx, suiteSpan := obs.Start(runCtx, "suite", obs.Attr{Key: "suite", Value: spec.Name})
+	rep, err := eng.Run(sctx, spec)
+	suiteSpan.End()
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
 			cli.Fail("axrobust", fmt.Errorf("interrupted: %w", err))
 		}
 		cli.Fail("axrobust", err)
+	}
+	if rec != nil {
+		if err := writeTrace(*tracePath, rec); err != nil {
+			cli.Fail("axrobust", err)
+		}
 	}
 
 	switch outFormat {
@@ -221,7 +239,7 @@ func main() {
 // bytes verbatim — byte-identical to what any other client fetched —
 // and text rendered locally from the decoded report, matching a local
 // run's output.
-func runRemote(ctx context.Context, base string, spec *experiment.Spec, format string, progress bool) {
+func runRemote(ctx context.Context, base string, spec *experiment.Spec, format string, progress bool, tracePath string) {
 	c := service.NewClient(base)
 	st, created, err := c.Submit(ctx, spec)
 	if err != nil {
@@ -243,11 +261,26 @@ func runRemote(ctx context.Context, base string, spec *experiment.Spec, format s
 		}
 		cli.Fail("axrobust", err)
 	}
+	// With -trace, the server already recorded the job's spans (its own
+	// plus any imported from shard peers); fetch them after completion.
+	fetchTrace := func() {
+		if tracePath == "" {
+			return
+		}
+		raw, err := c.TraceRaw(ctx, st.ID)
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(tracePath, raw, 0o644); err != nil {
+			fail(err)
+		}
+	}
 	if format == "text" {
 		rep, err := c.Wait(ctx, st.ID, onEvent)
 		if err != nil {
 			fail(err)
 		}
+		fetchTrace()
 		fmt.Printf("%s: clean float accuracy %.1f%%\n", rep.Spec.Model, rep.CleanAcc)
 		fmt.Print(rep)
 		return
@@ -256,7 +289,22 @@ func runRemote(ctx context.Context, base string, spec *experiment.Spec, format s
 	if err != nil {
 		fail(err)
 	}
+	fetchTrace()
 	if _, err := os.Stdout.Write(raw); err != nil {
 		fail(err)
 	}
+}
+
+// writeTrace renders the recorder's spans as Chrome trace_event JSON
+// at path.
+func writeTrace(path string, rec *obs.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChromeTrace(f, rec.Spans()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -26,11 +26,12 @@ func TestAnalyzerGolden(t *testing.T) {
 		fixture  string
 	}{
 		{"determinism", "determtest"},
+		{"determinism", "obsclock"},
 		{"cachekey", "cachekeytest"},
 		{"ctxhygiene", "ctxtest"},
 	}
 	for _, tc := range cases {
-		t.Run(tc.analyzer, func(t *testing.T) {
+		t.Run(tc.fixture, func(t *testing.T) {
 			loader, err := NewLoader(root)
 			if err != nil {
 				t.Fatal(err)

@@ -1,0 +1,44 @@
+// Package obsclock is the wallClockSanctioned policy's fixture: this
+// package path is on the allowlist, so its time.Now calls must stay
+// silent — while every other determinism rule (global rand, ordered
+// map iteration) still fires. Compare determtest, where the same
+// time.Now is a violation.
+package obsclock
+
+import (
+	"math/rand"
+	"time"
+)
+
+// span mimics the observability layer's legitimate wall-clock use.
+type span struct {
+	start time.Time
+	dur   time.Duration
+}
+
+// begin must stay silent: the package is sanctioned for wall-clock.
+func begin() *span {
+	return &span{start: time.Now()}
+}
+
+// end must stay silent too — both reads are measurement, not output.
+func (s *span) end() time.Duration {
+	s.dur = time.Now().Sub(s.start)
+	return s.dur
+}
+
+// seededID must still be flagged: sanctioning covers the clock, not
+// the process-global rand source.
+func seededID() uint64 {
+	return rand.Uint64() // want determinism: global rand
+}
+
+// exportOrder must still be flagged: map-order sinks stay forbidden
+// in sanctioned packages.
+func exportOrder(hists map[string]int) []string {
+	var names []string
+	for k := range hists {
+		names = append(names, k) // want determinism: append in map order
+	}
+	return names
+}

@@ -5,14 +5,27 @@ import (
 	"errors"
 	"math/rand"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/attack"
 	"repro/internal/dataset"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/store"
 	"repro/internal/tensor"
+)
+
+// Stage latency histograms in the process-wide registry. Both observe
+// only cache-miss work (a memory hit costs a map load and is not a
+// stage): craft covers the disk probe plus any recompute, predict
+// covers victim scoring.
+var (
+	craftHist = obs.Default.Histogram("ax_craft_duration_seconds",
+		"Adversarial batch crafting latency on cache misses (disk probe + compute), in seconds.")
+	predictHist = obs.Default.Histogram("ax_predict_duration_seconds",
+		"Victim prediction latency on cache misses (disk probe + compute), in seconds.")
 )
 
 // CacheConfig bounds a Cache's retention. The zero value selects the
@@ -268,8 +281,12 @@ func (c *Cache) storePreds(key predKey, preds []int) {
 // validating the decoded shape against what the compute path would
 // produce. A stored value that will not decode or has the wrong shape
 // counts a disk error and degrades to a recompute.
-func (c *Cache) diskCraftProbe(dkey string, want []int) (*tensor.T, bool) {
+func (c *Cache) diskCraftProbe(ctx context.Context, dkey string, want []int) (*tensor.T, bool) {
+	pctx, probe := obs.Start(ctx, "cache-probe")
+	defer probe.End()
+	_, get := obs.Start(pctx, "disk-get")
 	val, ok := c.disk.Get(dkey)
+	get.End()
 	if !ok {
 		c.diskCraftMisses.Add(1)
 		return nil, false
@@ -287,7 +304,9 @@ func (c *Cache) diskCraftProbe(dkey string, want []int) (*tensor.T, bool) {
 // diskPut writes one freshly computed artifact through to the
 // persistent tier. Failures count a disk error and are otherwise
 // ignored: the evaluation path never fails on persistence.
-func (c *Cache) diskPut(dkey string, val []byte) {
+func (c *Cache) diskPut(ctx context.Context, dkey string, val []byte) {
+	_, sp := obs.Start(ctx, "disk-put")
+	defer sp.End()
 	if err := c.disk.Put(dkey, val); err != nil {
 		c.diskErrors.Add(1)
 	}
@@ -335,11 +354,18 @@ func (c *Cache) CraftedBatch(ctx context.Context, src *nn.Network, test *dataset
 	if err := ctx.Err(); err != nil {
 		return nil, false, err
 	}
+	// A memory miss is the start of the craft stage: the span (and the
+	// craft histogram) covers the disk probe plus any recompute, and
+	// every disk touch below nests under it.
+	ctx, span := obs.Start(ctx, "craft",
+		obs.Attr{Key: "attack", Value: key.attack},
+		obs.Attr{Key: "eps", Value: strconv.FormatFloat(eps, 'g', -1, 64)})
+	defer func() { craftHist.Observe(span.End()) }()
 	var dkey string
 	if c.disk != nil {
 		dkey = craftDiskKey(src, test, key.attack, epsQ, opts.Seed)
 		want := append([]int{test.Len()}, test.X[0].Shape...)
-		if t, ok := c.diskCraftProbe(dkey, want); ok {
+		if t, ok := c.diskCraftProbe(ctx, dkey, want); ok {
 			// A disk hit is an artifact served with zero recompute, which
 			// is what hit means to callers (CellTiming.CacheHit, events).
 			return c.storeCrafted(key, t), true, nil
@@ -361,7 +387,7 @@ func (c *Cache) CraftedBatch(ctx context.Context, src *nn.Network, test *dataset
 		}
 		kept := c.storeCrafted(key, out)
 		if dkey != "" {
-			c.diskPut(dkey, encodeTensor(kept))
+			c.diskPut(ctx, dkey, encodeTensor(kept))
 		}
 		return kept, false, nil
 	}
@@ -387,7 +413,7 @@ func (c *Cache) CraftedBatch(ctx context.Context, src *nn.Network, test *dataset
 	}
 	kept := c.storeCrafted(key, out)
 	if dkey != "" {
-		c.diskPut(dkey, encodeTensor(kept))
+		c.diskPut(ctx, dkey, encodeTensor(kept))
 	}
 	return kept, false, nil
 }
@@ -454,13 +480,20 @@ func (c *Cache) Predictions(ctx context.Context, m attack.Model, adv *tensor.T, 
 	if err := ctx.Err(); err != nil {
 		return nil, false, err
 	}
+	ctx, span := obs.Start(ctx, "predict")
+	defer func() { predictHist.Observe(span.End()) }()
 	var dkey string
 	if c.disk != nil {
 		// Models without a stable content identity (no ModelKey or
 		// weights fingerprint) stay memory-tier only.
 		if dk, ok := predDiskKey(m, adv); ok {
 			dkey = dk
-			if val, found := c.disk.Get(dkey); !found {
+			pctx, probe := obs.Start(ctx, "cache-probe")
+			_, get := obs.Start(pctx, "disk-get")
+			val, found := c.disk.Get(dkey)
+			get.End()
+			probe.End()
+			if !found {
 				c.diskPredMisses.Add(1)
 			} else if ps, err := decodePreds(val); err != nil || len(ps) != adv.Rows() {
 				c.diskErrors.Add(1)
@@ -489,7 +522,7 @@ func (c *Cache) Predictions(ctx context.Context, m attack.Model, adv *tensor.T, 
 	}
 	c.storePreds(key, preds)
 	if dkey != "" {
-		c.diskPut(dkey, encodePreds(preds))
+		c.diskPut(ctx, dkey, encodePreds(preds))
 	}
 	return preds, false, nil
 }

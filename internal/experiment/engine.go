@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/defense"
 	"repro/internal/modelzoo"
+	"repro/internal/obs"
 )
 
 // Engine executes Specs. Each engine owns its crafted-batch and
@@ -106,7 +107,9 @@ func (e *Engine) emit(ev Event) {
 // and the Report is assembled in plan order, so the bytes don't depend
 // on the executor either.
 func (e *Engine) Run(ctx context.Context, spec *Spec) (*Report, error) {
+	_, sp := obs.Start(ctx, "plan")
 	plan, err := spec.Plan()
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -116,7 +119,12 @@ func (e *Engine) Run(ctx context.Context, spec *Spec) (*Report, error) {
 // RunPlan binds an already-compiled plan (possibly restricted to a
 // subset of its grids — the shard server's path) and executes it.
 func (e *Engine) RunPlan(ctx context.Context, plan *Plan) (*Report, error) {
+	// bind gets its own span (model resolution can train hardened
+	// victims on first use); Execute keeps the original ctx so grid
+	// spans parent directly under the caller's suite span.
+	_, sp := obs.Start(ctx, "bind")
 	run, err := e.bind(ctx, plan)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}

@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"context"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -10,8 +11,14 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
+
+// cellHist times whole cells (craft + all victim evaluations) — the
+// top-line latency distribution of the pipeline.
+var cellHist = obs.Default.Histogram("ax_cell_duration_seconds",
+	"End-to-end cell execution latency (craft through last victim evaluation), in seconds.")
 
 // Executor runs a bound plan and assembles its Report. Implementations
 // may execute cells in any order and with any parallelism; the Report
@@ -63,6 +70,12 @@ type cellState struct {
 	elapsed time.Duration
 	row     []float64
 	pending int // evaluate nodes still outstanding
+	// ctx/span carry the cell's trace context from its craft node to
+	// its evaluate nodes, so predict spans nest under the cell span.
+	// Written in runCraft's critical section, read by evaluate nodes
+	// that only exist after it — ordered by the scheduler mutex.
+	ctx  context.Context
+	span *obs.SpanHandle
 }
 
 // evalNode is one (cell, victim) evaluation, runnable once the cell's
@@ -119,6 +132,15 @@ func (x *LocalExecutor) Execute(ctx context.Context, run *PlanRun) (*Report, err
 	for i := range plan.Cells {
 		craftReady = append(craftReady, i)
 	}
+	// Per-grid spans open lazily at the grid's first craft and close
+	// when its last cell finishes, so the trace shows grid phases even
+	// though the scheduler interleaves grids freely.
+	gridCtx := make([]context.Context, len(plan.Grids))
+	gridSpan := make([]*obs.SpanHandle, len(plan.Grids))
+	gridLeft := make([]int, len(plan.Grids))
+	for _, c := range plan.Cells {
+		gridLeft[c.Grid]++
+	}
 	gauge := func() {
 		if x.Counters != nil {
 			x.Counters.Ready.Store(int64(len(craftReady) + len(evalReady)))
@@ -137,10 +159,20 @@ func (x *LocalExecutor) Execute(ctx context.Context, run *PlanRun) (*Report, err
 	runCraft := func(ci int) {
 		cell := plan.Cells[ci]
 		st := &states[ci]
+		mu.Lock()
+		if gridCtx[cell.Grid] == nil {
+			gridCtx[cell.Grid], gridSpan[cell.Grid] = obs.Start(ctx, "grid",
+				obs.Attr{Key: "attack", Value: plan.Grids[cell.Grid]})
+		}
+		st.ctx, st.span = obs.Start(gridCtx[cell.Grid], "cell",
+			obs.Attr{Key: "attack", Value: cell.Attack},
+			obs.Attr{Key: "eps", Value: strconv.FormatFloat(cell.Eps, 'g', -1, 64)},
+			obs.Attr{Key: "cell", Value: strconv.Itoa(cell.Index)})
+		mu.Unlock()
 		//axvet:ignore determinism -- wall-clock start for the ElapsedMS metric, which report comparisons normalize
 		st.start = time.Now()
 		run.emit(Event{Kind: CellStarted, Suite: plan.spec.Name, Attack: cell.Attack, Eps: cell.Eps, Cell: cell.Index, Cells: plan.Total})
-		adv, hit, err := run.cache.CraftedBatch(ctx, run.src, run.test, run.atks[cell.Grid], cell.Eps, run.opts)
+		adv, hit, err := run.cache.CraftedBatch(st.ctx, run.src, run.test, run.atks[cell.Grid], cell.Eps, run.opts)
 		if err != nil {
 			fail(err)
 			return
@@ -161,7 +193,7 @@ func (x *LocalExecutor) Execute(ctx context.Context, run *PlanRun) (*Report, err
 	runEval := func(nd evalNode) {
 		cell := plan.Cells[nd.cell]
 		st := &states[nd.cell]
-		preds, _, err := run.cache.Predictions(ctx, run.models[nd.victim], st.adv, run.opts)
+		preds, _, err := run.cache.Predictions(st.ctx, run.models[nd.victim], st.adv, run.opts)
 		if err != nil {
 			fail(err)
 			return
@@ -171,13 +203,21 @@ func (x *LocalExecutor) Execute(ctx context.Context, run *PlanRun) (*Report, err
 		st.row[nd.victim] = rob
 		st.pending--
 		finished := st.pending == 0
+		gridDone := false
 		if finished {
 			st.elapsed = time.Since(st.start)
 			cellsDone++
+			gridLeft[cell.Grid]--
+			gridDone = gridLeft[cell.Grid] == 0
 		}
 		cond.Broadcast()
 		mu.Unlock()
 		if finished {
+			st.span.End()
+			cellHist.Observe(st.elapsed)
+			if gridDone {
+				gridSpan[cell.Grid].End()
+			}
 			if x.Counters != nil {
 				x.Counters.Local.Add(1)
 			}

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// chromeEvent is one entry of the Chrome trace_event format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU),
+// the JSON dialect chrome://tracing and Perfetto both load. We emit
+// only "X" (complete) duration events plus "M" process_name metadata.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Ts   int64          `json:"ts"`            // microseconds
+	Dur  int64          `json:"dur,omitempty"` // microseconds
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+// WriteChromeTrace renders spans as Chrome trace_event JSON. Each node
+// becomes its own pid (the local node "" is pid 1; remote nodes get
+// pids in sorted order) because clocks across nodes are not
+// comparable — the viewer shows each node's spans on its own process
+// track. Within a node, spans are packed onto tids (lanes) so that
+// nested spans share a lane with their parent where possible and
+// overlapping siblings split onto fresh lanes, keeping the rendered
+// nesting faithful to the span tree.
+func WriteChromeTrace(w io.Writer, spans []Span) error {
+	// Stable ordering: by start time, then ID.
+	sorted := append([]Span(nil), spans...)
+	sort.SliceStable(sorted, func(i, k int) bool {
+		if !sorted[i].Start.Equal(sorted[k].Start) {
+			return sorted[i].Start.Before(sorted[k].Start)
+		}
+		return sorted[i].ID < sorted[k].ID
+	})
+
+	// Assign pids per node.
+	pidOf := map[string]int{}
+	var nodes []string
+	for _, sp := range sorted {
+		if _, ok := pidOf[sp.Node]; !ok {
+			pidOf[sp.Node] = 0
+			nodes = append(nodes, sp.Node)
+		}
+	}
+	sort.Strings(nodes) // "" (local) sorts first -> pid 1
+	for i, n := range nodes {
+		pidOf[n] = i + 1
+	}
+
+	var events []chromeEvent
+	for _, n := range nodes {
+		label := n
+		if label == "" {
+			label = "local"
+		}
+		events = append(events, chromeEvent{
+			Name: "process_name",
+			Ph:   "M",
+			Pid:  pidOf[n],
+			Args: map[string]any{"name": label},
+		})
+	}
+
+	// Timestamps are relative to the earliest span so traces start
+	// near zero in the viewer.
+	var t0 time.Time
+	if len(sorted) > 0 {
+		t0 = sorted[0].Start
+		for _, sp := range sorted {
+			if sp.Start.Before(t0) {
+				t0 = sp.Start
+			}
+		}
+	}
+
+	// Lane assignment per pid: each lane tracks the end time of its
+	// last interval; a span goes on its parent's lane if it fits
+	// (nesting), otherwise the first free lane, otherwise a new one.
+	type laneState struct{ ends []time.Time }
+	type placement struct{ pid, tid int }
+	lanes := map[int]*laneState{}
+	laneOf := map[string]placement{} // span ID -> (pid, tid)
+
+	for _, sp := range sorted {
+		pid := pidOf[sp.Node]
+		ls := lanes[pid]
+		if ls == nil {
+			ls = &laneState{}
+			lanes[pid] = ls
+		}
+		end := sp.Start.Add(sp.Dur)
+		tid := -1
+		if p, ok := laneOf[sp.Parent]; ok && p.pid == pid && p.tid < len(ls.ends) && !ls.ends[p.tid].Before(end) {
+			// Parent's lane is still "open" past this span's end: the
+			// viewer nests us under it.
+			tid = p.tid
+		} else {
+			for i, e := range ls.ends {
+				if !e.After(sp.Start) {
+					tid = i
+					break
+				}
+			}
+		}
+		if tid == -1 {
+			ls.ends = append(ls.ends, end)
+			tid = len(ls.ends) - 1
+		} else if ls.ends[tid].Before(end) {
+			ls.ends[tid] = end
+		}
+		laneOf[sp.ID] = placement{pid, tid}
+
+		args := map[string]any{
+			"span":  sp.ID,
+			"trace": sp.Trace,
+		}
+		if sp.Parent != "" {
+			args["parent"] = sp.Parent
+		}
+		if sp.Node != "" {
+			args["node"] = sp.Node
+		}
+		for _, a := range sp.Attrs {
+			args[a.Key] = a.Value
+		}
+		dur := sp.Dur.Microseconds()
+		if dur < 1 {
+			dur = 1 // zero-duration events render invisibly
+		}
+		events = append(events, chromeEvent{
+			Name: sp.Name,
+			Ph:   "X",
+			Pid:  pid,
+			Tid:  tid + 1, // 1-based lanes: tid 0 never appears, so it can mean "absent" to validators
+			Ts:   sp.Start.Sub(t0).Microseconds(),
+			Dur:  dur,
+			Args: args,
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(chromeTrace{TraceEvents: events}); err != nil {
+		return fmt.Errorf("obs: encode trace: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// numBuckets finite buckets at power-of-two microsecond boundaries
+// (1us, 2us, 4us, ... ~33.5s) plus an implicit +Inf. Power-of-two
+// boundaries make Observe a bits.Len64, no search and no floats on the
+// hot path.
+const numBuckets = 26
+
+// Histogram is a lock-free log-bucketed latency histogram. Observe is
+// a handful of atomic adds — safe to call from every cell worker
+// concurrently. The zero value is not usable; get histograms from a
+// Registry so they render in /metrics.
+type Histogram struct {
+	buckets [numBuckets]atomic.Uint64
+	inf     atomic.Uint64
+	count   atomic.Uint64
+	sumNS   atomic.Int64
+}
+
+// bucketIndex maps a duration to its finite bucket, or numBuckets for
+// +Inf. Bucket i holds observations with d <= 2^i microseconds.
+func bucketIndex(d time.Duration) int {
+	if d < 0 {
+		d = 0
+	}
+	// Round up so a 1.001us observation lands in le=2us, not le=1us.
+	us := uint64((d + time.Microsecond - 1) / time.Microsecond)
+	i := 0
+	if us > 1 {
+		i = bits.Len64(us - 1)
+	}
+	if i > numBuckets {
+		return numBuckets
+	}
+	return i
+}
+
+// Observe records one latency.
+func (h *Histogram) Observe(d time.Duration) {
+	if i := bucketIndex(d); i < numBuckets {
+		h.buckets[i].Add(1)
+	} else {
+		h.inf.Add(1)
+	}
+	h.count.Add(1)
+	h.sumNS.Add(int64(d))
+}
+
+// Time returns a stop function recording the elapsed time since the
+// call: defer h.Time()() around a whole function body.
+func (h *Histogram) Time() func() {
+	start := time.Now()
+	return func() { h.Observe(time.Since(start)) }
+}
+
+// family is one metric family: a name/help pair with one histogram per
+// label value ("" = unlabeled).
+type family struct {
+	name     string
+	help     string
+	labelKey string // "" for plain histograms
+	mu       sync.Mutex
+	hists    map[string]*Histogram
+}
+
+func (f *family) with(labelValue string) *Histogram {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	h, ok := f.hists[labelValue]
+	if !ok {
+		h = &Histogram{}
+		f.hists[labelValue] = h
+	}
+	return h
+}
+
+// HistogramVec is a family of histograms keyed by one label (e.g. HTTP
+// route). With interns the child, so callers resolve it once at
+// registration time rather than per observation.
+type HistogramVec struct{ f *family }
+
+// With returns the child histogram for the label value.
+func (v *HistogramVec) With(labelValue string) *Histogram { return v.f.with(labelValue) }
+
+// Registry holds metric families and renders them in Prometheus text
+// exposition format. Registration is idempotent by name, so package
+// init order doesn't matter.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// Default is the process-wide registry the service /metrics endpoint
+// renders.
+var Default = NewRegistry()
+
+func (r *Registry) family(name, help, labelKey string) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, labelKey: labelKey, hists: map[string]*Histogram{}}
+		r.families[name] = f
+		r.order = append(r.order, name)
+	}
+	return f
+}
+
+// Histogram registers (or fetches) an unlabeled histogram family.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	return r.family(name, help, "").with("")
+}
+
+// HistogramVec registers (or fetches) a one-label histogram family.
+func (r *Registry) HistogramVec(name, help, labelKey string) *HistogramVec {
+	return &HistogramVec{f: r.family(name, help, labelKey)}
+}
+
+// EscapeLabel escapes a label value per the Prometheus text format:
+// backslash, double quote, and newline.
+func EscapeLabel(v string) string {
+	var b strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// formatLE renders a bucket boundary (given in microseconds) in
+// seconds the way Prometheus clients do: shortest decimal that
+// round-trips.
+func formatLE(us uint64) string {
+	return strconv.FormatFloat(float64(us)/1e6, 'g', -1, 64)
+}
+
+// WriteProm renders every family in registration order: HELP and TYPE
+// once, then per label value the cumulative _bucket series ending at
+// le="+Inf", then _sum and _count. Seconds are the exposition unit
+// (Prometheus convention) even though buckets are defined in
+// microseconds.
+func (r *Registry) WriteProm(w io.Writer) {
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	fams := make([]*family, 0, len(names))
+	for _, n := range names {
+		fams = append(fams, r.families[n])
+	}
+	r.mu.Unlock()
+
+	for _, f := range fams {
+		f.mu.Lock()
+		values := make([]string, 0, len(f.hists))
+		for v := range f.hists {
+			values = append(values, v)
+		}
+		hists := make(map[string]*Histogram, len(f.hists))
+		for v, h := range f.hists {
+			hists[v] = h
+		}
+		f.mu.Unlock()
+		sort.Strings(values)
+
+		fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(w, "# TYPE %s histogram\n", f.name)
+		for _, v := range values {
+			h := hists[v]
+			extra := ""
+			if f.labelKey != "" {
+				extra = fmt.Sprintf(`%s="%s",`, f.labelKey, EscapeLabel(v))
+			}
+			var cum uint64
+			for i := 0; i < numBuckets; i++ {
+				cum += h.buckets[i].Load()
+				fmt.Fprintf(w, "%s_bucket{%sle=\"%s\"} %d\n", f.name, extra, formatLE(uint64(1)<<uint(i)), cum)
+			}
+			cum += h.inf.Load()
+			fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", f.name, extra, cum)
+			label := ""
+			if f.labelKey != "" {
+				label = fmt.Sprintf(`{%s="%s"}`, f.labelKey, EscapeLabel(v))
+			}
+			fmt.Fprintf(w, "%s_sum%s %g\n", f.name, label, float64(h.sumNS.Load())/1e9)
+			fmt.Fprintf(w, "%s_count%s %d\n", f.name, label, h.count.Load())
+		}
+	}
+}

@@ -1,0 +1,291 @@
+// Package obs is the repo's dependency-free observability layer:
+// context-carried span trees recorded into bounded ring buffers
+// (exportable as Chrome trace_event JSON, see chrome.go) and
+// log-bucketed latency histograms rendered in Prometheus exposition
+// format (see hist.go). Stdlib only, matching the house style.
+//
+// Observation is strictly additive: spans and histograms time work and
+// never feed report rows, cache keys, or event payloads, so every
+// result byte is identical with tracing on or off — the same contract
+// Event.Time already satisfies. obs is therefore the one sanctioned
+// wall-clock package inside the determinism-scoped tree (policy-in-code
+// in internal/analysis/determinism.go); instrumented packages call
+// Start/End and Histogram.Observe instead of time.Now directly.
+//
+// Usage:
+//
+//	ctx = obs.WithRecorder(ctx, obs.NewRecorder(obs.DefaultSpanCap))
+//	ctx, sp := obs.Start(ctx, "cell", obs.Attr{Key: "attack", Value: name})
+//	...
+//	cellHist.Observe(sp.End())
+//
+// Start is cheap when ctx carries no recorder: it still stamps a start
+// time (so End can feed histograms) but generates no IDs and records
+// nothing.
+package obs
+
+import (
+	"context"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultSpanCap bounds a per-job span ring: large enough for every
+// stage of a full paper suite (14 attacks x 10 eps x ~10 spans per
+// cell), small enough that a long-lived service holding the ring for
+// every retained job stays bounded.
+const DefaultSpanCap = 4096
+
+// Attr is one key/value annotation on a span (attack name, eps, peer
+// URL). Values are strings: spans are for humans and trace viewers,
+// not for computation.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Span is one completed timed operation in a trace tree. Trace is
+// shared by the whole tree (across nodes, for sharded suites), Parent
+// links the tree together, and Node labels which process recorded the
+// span ("" = the local one; the shard client stamps peer URLs on
+// imported spans). The JSON form travels on the internal shard
+// response so remote spans nest under the originating suite's trace.
+type Span struct {
+	Trace  string        `json:"trace"`
+	ID     string        `json:"id"`
+	Parent string        `json:"parent,omitempty"`
+	Name   string        `json:"name"`
+	Node   string        `json:"node,omitempty"`
+	Start  time.Time     `json:"start"`
+	Dur    time.Duration `json:"dur"`
+	Attrs  []Attr        `json:"attrs,omitempty"`
+}
+
+// Recorder collects finished spans for one trace into a bounded ring:
+// once capacity is reached the oldest spans are overwritten and
+// Dropped counts them, so a pathological suite can never grow a job's
+// trace without bound. All methods are safe for concurrent use.
+type Recorder struct {
+	trace string
+	cap   int
+
+	mu      sync.Mutex
+	buf     []Span
+	next    int // ring write position once len(buf) == cap
+	dropped int64
+}
+
+// NewRecorder returns a recorder for a fresh trace. capacity <= 0
+// selects DefaultSpanCap.
+func NewRecorder(capacity int) *Recorder {
+	return ResumeRecorder(capacity, newID())
+}
+
+// ResumeRecorder returns a recorder joining an existing trace — the
+// shard server's side of cross-node propagation: spans it records
+// carry the originating node's trace ID.
+func ResumeRecorder(capacity int, traceID string) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultSpanCap
+	}
+	return &Recorder{trace: traceID, cap: capacity}
+}
+
+// TraceID returns the trace every span of this recorder belongs to.
+func (r *Recorder) TraceID() string { return r.trace }
+
+func (r *Recorder) add(sp Span) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.buf) < r.cap {
+		r.buf = append(r.buf, sp)
+		return
+	}
+	r.buf[r.next] = sp
+	r.next = (r.next + 1) % r.cap
+	r.dropped++
+}
+
+// Import merges spans recorded on another node (the shard client's
+// side), stamping node on any span that does not already carry a node
+// label — multi-hop traces keep the label of the process that actually
+// did the work.
+func (r *Recorder) Import(node string, spans []Span) {
+	for _, sp := range spans {
+		if sp.Node == "" {
+			sp.Node = node
+		}
+		r.add(sp)
+	}
+}
+
+// Spans snapshots the recorded spans in start order.
+func (r *Recorder) Spans() []Span {
+	r.mu.Lock()
+	out := make([]Span, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	r.mu.Unlock()
+	// Completion order (ring order) is almost start order already;
+	// insertion sort keeps the common case cheap and the export stable.
+	for i := 1; i < len(out); i++ {
+		for k := i; k > 0 && out[k].Start.Before(out[k-1].Start); k-- {
+			out[k], out[k-1] = out[k-1], out[k]
+		}
+	}
+	return out
+}
+
+// Dropped reports how many spans the ring has overwritten.
+func (r *Recorder) Dropped() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// ctxKey carries the recorder and the current parent span ID.
+type ctxKey struct{}
+
+type ctxVal struct {
+	rec    *Recorder
+	parent string
+}
+
+// WithRecorder attaches a recorder to the context; spans Started under
+// it are recorded there, the first as roots of the trace.
+func WithRecorder(ctx context.Context, r *Recorder) context.Context {
+	return context.WithValue(ctx, ctxKey{}, ctxVal{rec: r})
+}
+
+// WithParent attaches a recorder with an explicit parent span ID — the
+// shard server resuming a remote caller's trace: its spans nest under
+// the caller's shard-rpc span.
+func WithParent(ctx context.Context, r *Recorder, parentID string) context.Context {
+	return context.WithValue(ctx, ctxKey{}, ctxVal{rec: r, parent: parentID})
+}
+
+// FromContext returns the context's recorder and current parent span
+// ID (nil, "" when tracing is off).
+func FromContext(ctx context.Context) (*Recorder, string) {
+	v, _ := ctx.Value(ctxKey{}).(ctxVal)
+	return v.rec, v.parent
+}
+
+// SpanHandle is an in-flight span. The zero of tracing — a context
+// with no recorder — still yields a usable handle whose End returns
+// the elapsed time (feeding histograms) but records nothing.
+type SpanHandle struct {
+	rec   *Recorder
+	start time.Time
+	sp    Span
+}
+
+// Start opens a span named name under ctx's current span and returns
+// the context its children should use. It always returns a non-nil
+// handle; the caller must End it.
+func Start(ctx context.Context, name string, attrs ...Attr) (context.Context, *SpanHandle) {
+	h := &SpanHandle{start: time.Now()}
+	v, _ := ctx.Value(ctxKey{}).(ctxVal)
+	if v.rec == nil {
+		return ctx, h
+	}
+	h.rec = v.rec
+	h.sp = Span{
+		Trace:  v.rec.trace,
+		ID:     newID(),
+		Parent: v.parent,
+		Name:   name,
+		Start:  h.start,
+		Attrs:  attrs,
+	}
+	return context.WithValue(ctx, ctxKey{}, ctxVal{rec: v.rec, parent: h.sp.ID}), h
+}
+
+// SetAttr appends one annotation (no-op when tracing is off, so hot
+// paths need no guards).
+func (h *SpanHandle) SetAttr(key, value string) {
+	if h == nil || h.rec == nil {
+		return
+	}
+	h.sp.Attrs = append(h.sp.Attrs, Attr{Key: key, Value: value})
+}
+
+// ID returns the span's ID ("" when tracing is off) — what the shard
+// client propagates as the remote subtree's parent.
+func (h *SpanHandle) ID() string {
+	if h == nil {
+		return ""
+	}
+	return h.sp.ID
+}
+
+// End closes the span, records it when tracing is on, and returns the
+// elapsed time either way so callers feed latency histograms from the
+// same clock reads. End is idempotent in effect only for timing; call
+// it exactly once.
+func (h *SpanHandle) End() time.Duration {
+	if h == nil {
+		return 0
+	}
+	d := time.Since(h.start)
+	if h.rec != nil {
+		h.sp.Dur = d
+		h.rec.add(h.sp)
+	}
+	return d
+}
+
+// Trace-context propagation headers of the internal shard call.
+const (
+	// TraceHeader carries the trace ID.
+	TraceHeader = "X-Ax-Trace-Id"
+	// ParentHeader carries the calling span's ID.
+	ParentHeader = "X-Ax-Parent-Id"
+)
+
+// headerCarrier is the subset of http.Header obs needs; declared
+// structurally so obs stays free of net/http.
+type headerCarrier interface {
+	Set(key, value string)
+	Get(key string) string
+}
+
+// Inject writes ctx's trace context into the carrier (an http.Header).
+// No-op when tracing is off.
+func Inject(ctx context.Context, h headerCarrier) {
+	rec, parent := FromContext(ctx)
+	if rec == nil {
+		return
+	}
+	h.Set(TraceHeader, rec.TraceID())
+	if parent != "" {
+		h.Set(ParentHeader, parent)
+	}
+}
+
+// Extract reads a trace context written by Inject ("", "" when the
+// caller was not tracing).
+func Extract(h headerCarrier) (traceID, parentID string) {
+	return h.Get(TraceHeader), h.Get(ParentHeader)
+}
+
+// ID generation: a process-unique seed mixed with an atomic counter
+// through a splitmix64 finalizer. IDs are unique within a process and
+// collision-free across nodes for any plausible span volume; they
+// carry no ordering semantics.
+var (
+	idCounter atomic.Uint64
+	idSeed    = uint64(time.Now().UnixNano())
+)
+
+func newID() string {
+	x := idSeed + idCounter.Add(1)*0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return strconv.FormatUint(x, 16)
+}

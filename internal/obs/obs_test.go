@@ -1,0 +1,366 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestStartWithoutRecorderIsInert(t *testing.T) {
+	ctx := context.Background()
+	cctx, h := Start(ctx, "cell")
+	if h == nil {
+		t.Fatal("Start returned nil handle without recorder")
+	}
+	if cctx != ctx {
+		t.Error("Start allocated a child context without a recorder")
+	}
+	if h.ID() != "" {
+		t.Errorf("untraced span has ID %q, want empty", h.ID())
+	}
+	h.SetAttr("k", "v") // must not panic
+	if d := h.End(); d < 0 {
+		t.Errorf("End returned negative duration %v", d)
+	}
+	var nilH *SpanHandle
+	if nilH.End() != 0 || nilH.ID() != "" {
+		t.Error("nil handle methods not inert")
+	}
+}
+
+func TestSpanTreeRecorded(t *testing.T) {
+	rec := NewRecorder(16)
+	ctx := WithRecorder(context.Background(), rec)
+
+	sctx, suite := Start(ctx, "suite", Attr{Key: "job", Value: "j1"})
+	cctx, cell := Start(sctx, "cell")
+	_, craft := Start(cctx, "craft")
+	craft.End()
+	cell.End()
+	suite.End()
+
+	spans := rec.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("recorded %d spans, want 3", len(spans))
+	}
+	byName := map[string]Span{}
+	for _, sp := range spans {
+		if sp.Trace != rec.TraceID() {
+			t.Errorf("span %s trace = %q, want %q", sp.Name, sp.Trace, rec.TraceID())
+		}
+		byName[sp.Name] = sp
+	}
+	if byName["suite"].Parent != "" {
+		t.Errorf("suite parent = %q, want root", byName["suite"].Parent)
+	}
+	if byName["cell"].Parent != byName["suite"].ID {
+		t.Errorf("cell parent = %q, want suite %q", byName["cell"].Parent, byName["suite"].ID)
+	}
+	if byName["craft"].Parent != byName["cell"].ID {
+		t.Errorf("craft parent = %q, want cell %q", byName["craft"].Parent, byName["cell"].ID)
+	}
+	if got := byName["suite"].Attrs; len(got) != 1 || got[0] != (Attr{Key: "job", Value: "j1"}) {
+		t.Errorf("suite attrs = %v", got)
+	}
+	// Spans() is start-ordered: suite started first.
+	if spans[0].Name != "suite" {
+		t.Errorf("first span = %q, want suite", spans[0].Name)
+	}
+}
+
+func TestRecorderRingBounds(t *testing.T) {
+	rec := NewRecorder(4)
+	ctx := WithRecorder(context.Background(), rec)
+	for i := 0; i < 10; i++ {
+		_, h := Start(ctx, fmt.Sprintf("s%d", i))
+		h.End()
+	}
+	spans := rec.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("ring holds %d spans, want cap 4", len(spans))
+	}
+	if rec.Dropped() != 6 {
+		t.Errorf("Dropped = %d, want 6", rec.Dropped())
+	}
+	// Oldest dropped: the survivors are the last four.
+	for i, sp := range spans {
+		want := fmt.Sprintf("s%d", 6+i)
+		if sp.Name != want {
+			t.Errorf("span[%d] = %q, want %q", i, sp.Name, want)
+		}
+	}
+}
+
+func TestInjectExtractRoundTrip(t *testing.T) {
+	rec := NewRecorder(8)
+	ctx := WithRecorder(context.Background(), rec)
+	sctx, sp := Start(ctx, "shard-rpc")
+	defer sp.End()
+
+	h := http.Header{}
+	Inject(sctx, h)
+	traceID, parentID := Extract(h)
+	if traceID != rec.TraceID() {
+		t.Errorf("trace = %q, want %q", traceID, rec.TraceID())
+	}
+	if parentID != sp.ID() {
+		t.Errorf("parent = %q, want %q", parentID, sp.ID())
+	}
+
+	// Untraced context injects nothing.
+	h2 := http.Header{}
+	Inject(context.Background(), h2)
+	if tr, pa := Extract(h2); tr != "" || pa != "" {
+		t.Errorf("untraced Inject wrote %q/%q", tr, pa)
+	}
+
+	// The remote side resumes the trace under the caller's span.
+	remote := ResumeRecorder(8, traceID)
+	rctx := WithParent(context.Background(), remote, parentID)
+	_, child := Start(rctx, "cell")
+	child.End()
+	got := remote.Spans()
+	if len(got) != 1 || got[0].Trace != traceID || got[0].Parent != parentID {
+		t.Fatalf("resumed span = %+v, want trace %q parent %q", got, traceID, parentID)
+	}
+}
+
+func TestImportStampsNode(t *testing.T) {
+	rec := NewRecorder(8)
+	rec.Import("http://peer:8402", []Span{
+		{Trace: rec.TraceID(), ID: "a", Name: "cell"},
+		{Trace: rec.TraceID(), ID: "b", Name: "cell", Node: "http://far:9000"},
+	})
+	spans := rec.Spans()
+	if spans[0].Node != "http://peer:8402" && spans[1].Node != "http://peer:8402" {
+		t.Error("Import did not stamp node on unlabeled span")
+	}
+	for _, sp := range spans {
+		if sp.ID == "b" && sp.Node != "http://far:9000" {
+			t.Errorf("Import overwrote pre-labeled node: %q", sp.Node)
+		}
+	}
+}
+
+func TestBucketIndex(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{500 * time.Nanosecond, 0},
+		{time.Microsecond, 0},
+		{time.Microsecond + 1, 1},
+		{2 * time.Microsecond, 1},
+		{4 * time.Microsecond, 2},
+		{5 * time.Microsecond, 3},
+		{time.Millisecond, 10},          // 1024us = 2^10
+		{time.Second, 20},               // ~1.05s bucket 2^20us
+		{200 * time.Second, numBuckets}, // beyond the last finite bucket
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.d); got != c.want {
+			t.Errorf("bucketIndex(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+func TestHistogramExposition(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("ax_test_duration_seconds", "test latency.")
+	h.Observe(3 * time.Microsecond)   // bucket le=4us
+	h.Observe(100 * time.Microsecond) // bucket le=128us
+	h.Observe(time.Hour)              // +Inf
+
+	var buf bytes.Buffer
+	reg.WriteProm(&buf)
+	out := buf.String()
+
+	for _, want := range []string{
+		"# HELP ax_test_duration_seconds test latency.\n",
+		"# TYPE ax_test_duration_seconds histogram\n",
+		`ax_test_duration_seconds_bucket{le="+Inf"} 3`,
+		"ax_test_duration_seconds_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// le="4e-06" (4us) holds exactly 1; le="0.000128" holds 2.
+	if !strings.Contains(out, `ax_test_duration_seconds_bucket{le="4e-06"} 1`) {
+		t.Errorf("4us bucket wrong:\n%s", out)
+	}
+	if !strings.Contains(out, `ax_test_duration_seconds_bucket{le="0.000128"} 2`) {
+		t.Errorf("128us bucket wrong:\n%s", out)
+	}
+	// Sum ~ 1 hour in seconds.
+	if !strings.Contains(out, "ax_test_duration_seconds_sum 3600.000103\n") {
+		t.Errorf("sum wrong:\n%s", out)
+	}
+}
+
+func TestHistogramVecLabels(t *testing.T) {
+	reg := NewRegistry()
+	vec := reg.HistogramVec("ax_http_request_duration_seconds", "HTTP latency.", "route")
+	vec.With(`GET /v1/suites/{id}`).Observe(time.Millisecond)
+	vec.With("weird\"\\\nroute").Observe(time.Millisecond)
+
+	var buf bytes.Buffer
+	reg.WriteProm(&buf)
+	out := buf.String()
+	if !strings.Contains(out, `route="GET /v1/suites/{id}"`) {
+		t.Errorf("route label missing:\n%s", out)
+	}
+	if !strings.Contains(out, `route="weird\"\\\nroute"`) {
+		t.Errorf("escaped label missing:\n%s", out)
+	}
+	if n := strings.Count(out, "# TYPE ax_http_request_duration_seconds histogram"); n != 1 {
+		t.Errorf("TYPE emitted %d times, want once", n)
+	}
+}
+
+func TestEscapeLabel(t *testing.T) {
+	if got := EscapeLabel("a\\b\"c\nd"); got != `a\\b\"c\nd` {
+		t.Errorf("EscapeLabel = %q", got)
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	rec := NewRecorder(32)
+	ctx := WithRecorder(context.Background(), rec)
+	sctx, suite := Start(ctx, "suite")
+	cctx, cell := Start(sctx, "cell", Attr{Key: "attack", Value: "FGSM"})
+	_, craft := Start(cctx, "craft")
+	time.Sleep(time.Millisecond)
+	craft.End()
+	cell.End()
+	suite.End()
+	// A remote span imported from a peer.
+	rec.Import("http://peer:8402", []Span{{
+		Trace: rec.TraceID(), ID: "r1", Parent: cell.ID(), Name: "cell",
+		Start: time.Now(), Dur: time.Millisecond,
+	}})
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, rec.Spans()); err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+
+	var xEvents, metas int
+	pids := map[float64]bool{}
+	for _, ev := range tr.TraceEvents {
+		switch ev["ph"] {
+		case "X":
+			xEvents++
+			for _, k := range []string{"pid", "tid", "ts", "name"} {
+				if _, ok := ev[k]; !ok {
+					t.Errorf("X event missing %s: %v", k, ev)
+				}
+			}
+			pids[ev["pid"].(float64)] = true
+		case "M":
+			metas++
+		}
+	}
+	if xEvents != 4 {
+		t.Errorf("got %d X events, want 4", xEvents)
+	}
+	if metas != 2 {
+		t.Errorf("got %d metadata events, want 2 (local + peer)", metas)
+	}
+	if len(pids) != 2 {
+		t.Errorf("spans spread over %d pids, want 2", len(pids))
+	}
+
+	// The craft span must share or nest within the cell span's lane
+	// window; verify parent linkage via args.
+	var cellSpanID string
+	for _, ev := range tr.TraceEvents {
+		if ev["name"] == "cell" && ev["ph"] == "X" {
+			args := ev["args"].(map[string]any)
+			if args["node"] == nil {
+				cellSpanID = args["span"].(string)
+			}
+		}
+	}
+	found := false
+	for _, ev := range tr.TraceEvents {
+		if ev["name"] == "craft" {
+			args := ev["args"].(map[string]any)
+			if args["parent"] == cellSpanID {
+				found = true
+			}
+			if args["attack"] != nil {
+				t.Error("craft span inherited cell attrs")
+			}
+		}
+	}
+	if !found {
+		t.Error("craft span not parented under cell span")
+	}
+}
+
+func TestWriteChromeTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var tr chromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatalf("empty trace not valid JSON: %v", err)
+	}
+	if len(tr.TraceEvents) != 0 {
+		t.Errorf("empty trace has %d events", len(tr.TraceEvents))
+	}
+}
+
+func TestHistogramTime(t *testing.T) {
+	var h Histogram
+	stop := h.Time()
+	time.Sleep(2 * time.Millisecond)
+	stop()
+	if h.count.Load() != 1 {
+		t.Fatalf("count = %d", h.count.Load())
+	}
+	if h.sumNS.Load() < int64(2*time.Millisecond) {
+		t.Errorf("sum %dns < slept 2ms", h.sumNS.Load())
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() {
+			for j := 0; j < 1000; j++ {
+				h.Observe(time.Duration(j) * time.Microsecond)
+			}
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+	if h.count.Load() != 8000 {
+		t.Errorf("count = %d, want 8000", h.count.Load())
+	}
+	var cum uint64
+	for i := 0; i < numBuckets; i++ {
+		cum += h.buckets[i].Load()
+	}
+	cum += h.inf.Load()
+	if cum != 8000 {
+		t.Errorf("bucket total = %d, want 8000", cum)
+	}
+}

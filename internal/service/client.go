@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"repro/internal/experiment"
+	"repro/internal/obs"
 )
 
 // Client is the thin Go client of the axserve HTTP API — what
@@ -31,7 +32,13 @@ func NewClient(base string) *Client {
 	return &Client{base: strings.TrimRight(base, "/"), hc: http.DefaultClient}
 }
 
-// do issues one request and decodes error bodies into errors.
+// Base returns the server base URL this client talks to — the node
+// label sharded traces stamp on spans imported from this peer.
+func (c *Client) Base() string { return c.base }
+
+// do issues one request and decodes error bodies into errors. When
+// ctx carries a trace context it is propagated as headers, so server
+// work can nest under the caller's span (the sharded-execution path).
 func (c *Client) do(ctx context.Context, method, path string, body io.Reader) (*http.Response, error) {
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
 	if err != nil {
@@ -40,6 +47,7 @@ func (c *Client) do(ctx context.Context, method, path string, body io.Reader) (*
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	obs.Inject(ctx, req.Header)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, err
@@ -149,7 +157,32 @@ func (c *Client) ExecuteShard(ctx context.Context, spec *experiment.Spec, grids 
 		return nil, err
 	}
 	defer resp.Body.Close()
-	return experiment.ReadReport(resp.Body)
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	// Current peers reply with a {report, spans} envelope; a peer one
+	// deploy behind replies with the bare report JSON (which has no
+	// "report" key), so fall back to parsing the body directly.
+	var env shardResponse
+	if json.Unmarshal(raw, &env) == nil && len(env.Report) > 0 {
+		if rec, _ := obs.FromContext(ctx); rec != nil {
+			rec.Import(c.base, env.Spans)
+		}
+		return experiment.ReadReport(bytes.NewReader(env.Report))
+	}
+	return experiment.ReadReport(bytes.NewReader(raw))
+}
+
+// TraceRaw fetches a job's Chrome trace_event JSON verbatim — what
+// axrobust -trace writes to disk for chrome://tracing / Perfetto.
+func (c *Client) TraceRaw(ctx context.Context, id string) ([]byte, error) {
+	resp, err := c.do(ctx, http.MethodGet, "/v1/suites/"+id+"/trace", nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return io.ReadAll(resp.Body)
 }
 
 // Events consumes the job's SSE stream — full replay, then live —

@@ -1,13 +1,31 @@
 package service
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"runtime/debug"
+	"time"
 
 	"repro/internal/experiment"
+	"repro/internal/obs"
 )
+
+// httpHist is the per-route HTTP handler latency family. Children are
+// resolved once per registered pattern at handler construction (the
+// mux only sets Request.Pattern on its own cloned request, so an outer
+// middleware never sees it — wrapping per pattern sidesteps that).
+var httpHist = obs.Default.HistogramVec("ax_http_request_duration_seconds",
+	"HTTP handler latency by route pattern, in seconds.", "route")
+
+// sseKeepalive is how often an idle /events stream emits a
+// ": keepalive" SSE comment so proxies and load balancers don't sever
+// long-quiet defense-job subscriptions. Package variable so the slow-
+// subscriber test can tighten it.
+var sseKeepalive = 15 * time.Second
 
 // SubmitResponse is the body of POST /v1/suites.
 type SubmitResponse struct {
@@ -33,13 +51,23 @@ const maxSpecBytes = 1 << 20
 //	GET    /v1/suites/{id}          job status
 //	GET    /v1/suites/{id}/report   finished report, ?format=json|csv
 //	GET    /v1/suites/{id}/events   replay + live progress as SSE
+//	GET    /v1/suites/{id}/trace    Chrome trace_event JSON of the job's spans
 //	DELETE /v1/suites/{id}          cancel
 //	GET    /healthz                 liveness
-//	GET    /metrics                 Prometheus-style cache/sched/job counters
+//	GET    /metrics                 Prometheus-style counters, gauges, and latency histograms
 //	POST   /internal/v1/shard       node-to-node: run a subset of a suite's grids
 func NewHandler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/suites", func(w http.ResponseWriter, r *http.Request) {
+	// handle registers a route with its latency histogram child
+	// pre-resolved, so the hot path is two clock reads and atomic adds.
+	handle := func(pattern string, fn http.HandlerFunc) {
+		h := httpHist.With(pattern)
+		mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+			defer h.Time()()
+			fn(w, r)
+		})
+	}
+	handle("POST /v1/suites", func(w http.ResponseWriter, r *http.Request) {
 		body := http.MaxBytesReader(w, r.Body, maxSpecBytes)
 		dec := json.NewDecoder(body)
 		dec.DisallowUnknownFields()
@@ -66,11 +94,11 @@ func NewHandler(m *Manager) http.Handler {
 		writeJSON(w, code, SubmitResponse{Created: created, Job: st})
 	})
 
-	mux.HandleFunc("GET /v1/suites", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /v1/suites", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, m.List())
 	})
 
-	mux.HandleFunc("GET /v1/suites/{id}", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /v1/suites/{id}", func(w http.ResponseWriter, r *http.Request) {
 		st, err := m.Status(r.PathValue("id"))
 		if err != nil {
 			writeError(w, http.StatusNotFound, err)
@@ -79,7 +107,7 @@ func NewHandler(m *Manager) http.Handler {
 		writeJSON(w, http.StatusOK, st)
 	})
 
-	mux.HandleFunc("GET /v1/suites/{id}/report", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /v1/suites/{id}/report", func(w http.ResponseWriter, r *http.Request) {
 		format := r.URL.Query().Get("format")
 		if format == "" {
 			format = "json"
@@ -111,7 +139,7 @@ func NewHandler(m *Manager) http.Handler {
 		rep.WriteJSON(w)
 	})
 
-	mux.HandleFunc("GET /v1/suites/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /v1/suites/{id}/events", func(w http.ResponseWriter, r *http.Request) {
 		events, err := m.Events(r.Context(), r.PathValue("id"))
 		if err != nil {
 			writeError(w, http.StatusNotFound, err)
@@ -122,19 +150,46 @@ func NewHandler(m *Manager) http.Handler {
 		w.WriteHeader(http.StatusOK)
 		rc := http.NewResponseController(w)
 		rc.Flush()
-		for ev := range events {
-			data, err := json.Marshal(ev)
-			if err != nil {
-				continue
+		// Between events — long stretches on defense jobs whose cells
+		// take minutes — emit SSE comments so idle proxies and load
+		// balancers don't sever the stream. Comments are invisible to
+		// event parsers (the Go client skips non-"data:" lines).
+		keepalive := time.NewTicker(sseKeepalive)
+		defer keepalive.Stop()
+		for {
+			select {
+			case ev, ok := <-events:
+				if !ok {
+					return // terminal event delivered or subscriber gone
+				}
+				data, err := json.Marshal(ev)
+				if err != nil {
+					continue
+				}
+				if _, err := fmt.Fprintf(w, "data: %s\n\n", data); err != nil {
+					return // subscriber went away; Events observes r.Context()
+				}
+				rc.Flush()
+			case <-keepalive.C:
+				if _, err := io.WriteString(w, ": keepalive\n\n"); err != nil {
+					return
+				}
+				rc.Flush()
 			}
-			if _, err := fmt.Fprintf(w, "data: %s\n\n", data); err != nil {
-				return // subscriber went away; Events observes r.Context()
-			}
-			rc.Flush()
 		}
 	})
 
-	mux.HandleFunc("DELETE /v1/suites/{id}", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /v1/suites/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+		spans, err := m.Trace(r.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		obs.WriteChromeTrace(w, spans)
+	})
+
+	handle("DELETE /v1/suites/{id}", func(w http.ResponseWriter, r *http.Request) {
 		st, err := m.Cancel(r.PathValue("id"))
 		if err != nil {
 			writeError(w, http.StatusNotFound, err)
@@ -146,7 +201,7 @@ func NewHandler(m *Manager) http.Handler {
 	// Internal node-to-node path of sharded execution: run a subset of
 	// a suite's grids synchronously and return the partial report. Not
 	// part of the public suite API — no job, no events, no dedup.
-	mux.HandleFunc("POST /internal/v1/shard", func(w http.ResponseWriter, r *http.Request) {
+	handle("POST /internal/v1/shard", func(w http.ResponseWriter, r *http.Request) {
 		body := http.MaxBytesReader(w, r.Body, maxSpecBytes)
 		var req shardRequest
 		if err := json.NewDecoder(body).Decode(&req); err != nil {
@@ -158,7 +213,17 @@ func NewHandler(m *Manager) http.Handler {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
-		rep, err := m.ExecuteShard(r.Context(), spec, req.Grids)
+		// Resume the caller's trace when it sent one: spans recorded
+		// while executing this shard join the originating suite's trace,
+		// parented under the caller's shard-rpc span, and travel back in
+		// the response envelope.
+		ctx := r.Context()
+		var rec *obs.Recorder
+		if traceID, parentID := obs.Extract(r.Header); traceID != "" {
+			rec = obs.ResumeRecorder(obs.DefaultSpanCap, traceID)
+			ctx = obs.WithParent(ctx, rec, parentID)
+		}
+		rep, err := m.ExecuteShard(ctx, spec, req.Grids)
 		if err != nil {
 			switch {
 			case errors.Is(err, ErrClosed):
@@ -168,15 +233,24 @@ func NewHandler(m *Manager) http.Handler {
 			}
 			return
 		}
+		var repJSON bytes.Buffer
+		if err := rep.WriteJSON(&repJSON); err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		resp := shardResponse{Report: repJSON.Bytes()}
+		if rec != nil {
+			resp.Spans = rec.Spans()
+		}
 		w.Header().Set("Content-Type", "application/json")
-		rep.WriteJSON(w)
+		json.NewEncoder(w).Encode(resp)
 	})
 
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "jobs": len(m.List())})
 	})
 
-	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		writeMetrics(w, m)
 	})
@@ -260,4 +334,29 @@ func writeMetrics(w http.ResponseWriter, m *Manager) {
 	for _, s := range []State{StateQueued, StateRunning, StateDone, StateFailed, StateCancelled} {
 		fmt.Fprintf(w, "axserve_jobs{state=%q} %d\n", s, byState[s])
 	}
+	writeBuildInfo(w)
+	// Stage latency histograms (cell/craft/predict/store/shard-RPC/HTTP)
+	// registered across the tree in the process-wide obs registry.
+	obs.Default.WriteProm(w)
+}
+
+// writeBuildInfo emits the axserve_build_info gauge: a constant-1
+// metric whose labels carry the Go toolchain and VCS revision, so
+// deployed-version skew across shard peers is visible by comparing
+// scrapes.
+func writeBuildInfo(w io.Writer) {
+	goversion, revision := "unknown", "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.GoVersion != "" {
+			goversion = bi.GoVersion
+		}
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && s.Value != "" {
+				revision = s.Value
+			}
+		}
+	}
+	fmt.Fprintf(w, "# HELP axserve_build_info Build metadata; the value is always 1.\n# TYPE axserve_build_info gauge\n")
+	fmt.Fprintf(w, "axserve_build_info{goversion=\"%s\",revision=\"%s\"} 1\n",
+		obs.EscapeLabel(goversion), obs.EscapeLabel(revision))
 }

@@ -27,6 +27,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiment"
 	"repro/internal/modelzoo"
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -139,6 +140,11 @@ type job struct {
 	// wal mirrors the log and terminal state to the persistent job log;
 	// nil on a memory-only manager (every write is a nil-receiver no-op).
 	wal *jobLog
+	// trace is the job's bounded span ring, created when the job starts
+	// running; nil for queued jobs and jobs restored from the WAL
+	// (traces are in-memory observability, not part of the durable
+	// record).
+	trace *obs.Recorder
 
 	done chan struct{} // closed when state turns terminal
 }
@@ -563,6 +569,24 @@ func (m *Manager) Wait(ctx context.Context, id string) (*experiment.Report, erro
 	return m.Result(id)
 }
 
+// Trace snapshots the job's recorded spans — local stages plus any
+// shard subtrees imported from peers. A job that has not started (or
+// was restored from the WAL, whose traces are not durable) has no
+// spans yet; that is an empty trace, not an error.
+func (m *Manager) Trace(id string) ([]obs.Span, error) {
+	j, err := m.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	j.mu.Lock()
+	rec := j.trace
+	j.mu.Unlock()
+	if rec == nil {
+		return nil, nil
+	}
+	return rec.Spans(), nil
+}
+
 // Events subscribes to the job's event stream: the persisted log is
 // replayed from the beginning — late subscribers see the full history,
 // including after the job finished — followed by live events, and the
@@ -656,8 +680,16 @@ func (m *Manager) runJob(j *job) {
 	j.cancel = cancel
 	j.state = StateRunning
 	j.started = time.Now() //axvet:ignore determinism -- job lifecycle metadata for status queries, not part of any result
+	// Every run gets a fresh bounded span ring; the suite span below is
+	// the root every stage (and every remote shard subtree) nests under.
+	rec := obs.NewRecorder(obs.DefaultSpanCap)
+	j.trace = rec
 	j.mu.Unlock()
 	defer cancel()
+	ctx = obs.WithRecorder(ctx, rec)
+	sctx, suiteSpan := obs.Start(ctx, "suite",
+		obs.Attr{Key: "job", Value: j.id},
+		obs.Attr{Key: "suite", Value: j.spec.Name})
 
 	j.record(experiment.Event{
 		Kind:  experiment.SuiteStarted,
@@ -665,14 +697,20 @@ func (m *Manager) runJob(j *job) {
 	})
 	start := time.Now() //axvet:ignore determinism -- feeds the ElapsedMS metric only, which replay comparisons normalize
 	var rep *experiment.Report
+	_, planSpan := obs.Start(sctx, "plan")
 	plan, err := j.spec.Plan()
+	planSpan.End()
 	if err == nil {
 		if len(m.peers) > 0 && len(plan.Grids) > 1 {
-			rep, err = m.runSharded(ctx, j, plan)
+			rep, err = m.runSharded(sctx, j, plan)
 		} else {
-			rep, err = m.newEngine(j.record).RunPlan(ctx, plan)
+			rep, err = m.newEngine(j.record).RunPlan(sctx, plan)
 		}
 	}
+
+	// End the root span before the terminal state publishes, so anyone
+	// who observed the job finish reads a complete trace.
+	suiteSpan.End()
 
 	j.mu.Lock()
 	defer j.mu.Unlock()

@@ -13,18 +13,35 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/experiment"
+	"repro/internal/obs"
 )
+
+// shardHist times whole shard RPC round-trips (encode, peer
+// execution, decode) from the requesting node's side.
+var shardHist = obs.Default.Histogram("ax_shard_rpc_duration_seconds",
+	"Shard RPC round-trip latency (peer executes its grid partition), in seconds.")
 
 // shardRequest is the wire form of the internal shard endpoint: the
 // full suite spec plus the grid names this node should execute.
 type shardRequest struct {
 	Spec  json.RawMessage `json:"spec"`
 	Grids []string        `json:"grids"`
+}
+
+// shardResponse is the internal shard endpoint's reply: the partial
+// report plus — when the caller propagated a trace context — the spans
+// the peer recorded while executing, so remote work nests under the
+// originating suite's trace. Older nodes replied with the bare report
+// JSON; the client accepts both (see Client.ExecuteShard).
+type shardResponse struct {
+	Report json.RawMessage `json:"report"`
+	Spans  []obs.Span      `json:"spans,omitempty"`
 }
 
 // ExecuteShard runs the named grids of the spec on this manager's
@@ -92,6 +109,8 @@ func (m *Manager) runSharded(ctx context.Context, j *job, plan *experiment.Plan)
 			merged = append(merged, reports[ni])
 		}
 	}
+	_, span := obs.Start(ctx, "merge")
+	defer span.End()
 	return mergeShardReports(plan, merged)
 }
 
@@ -101,7 +120,13 @@ func (m *Manager) runSharded(ctx context.Context, j *job, plan *experiment.Plan)
 // job's event log (as CellFinished, with their plan positions) so
 // progress subscribers count them like local ones.
 func (m *Manager) runShardPart(ctx context.Context, j *job, plan *experiment.Plan, peer *Client, grids []string) (*experiment.Report, error) {
-	rep, err := peer.ExecuteShard(ctx, j.spec, grids)
+	// The shard-rpc span is the local parent every remote span nests
+	// under: the client injects its ID as the peer's parent header.
+	rctx, span := obs.Start(ctx, "shard-rpc",
+		obs.Attr{Key: "peer", Value: peer.Base()},
+		obs.Attr{Key: "grids", Value: strings.Join(grids, ",")})
+	rep, err := peer.ExecuteShard(rctx, j.spec, grids)
+	shardHist.Observe(span.End())
 	if err == nil {
 		m.sched.Remote.Add(int64(len(rep.Cells)))
 		m.recordRemoteCells(j, plan, rep)

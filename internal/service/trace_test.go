@@ -1,0 +1,261 @@
+package service
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/store"
+)
+
+// TestShardedTraceNestsRemoteSpans is the tentpole's tracing
+// acceptance criterion: a two-node sharded run yields ONE trace on
+// the submitting node in which the peer's spans — imported over the
+// shard RPC's span envelope — nest under the local shard-rpc span,
+// which itself nests under the suite root. The trace endpoint then
+// serves that tree as Chrome trace_event JSON with the remote node on
+// its own pid.
+func TestShardedTraceNestsRemoteSpans(t *testing.T) {
+	shared, err := store.Open(store.Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { shared.Close() })
+
+	peer := newTestManager(t, Config{Workers: 1, Cache: core.NewCache(core.CacheConfig{Disk: shared})})
+	peerSrv := httptest.NewServer(NewHandler(peer))
+	t.Cleanup(peerSrv.Close)
+
+	m := newTestManager(t, Config{
+		Workers: 1,
+		Cache:   core.NewCache(core.CacheConfig{Disk: shared}),
+		Peers:   []string{peerSrv.URL},
+	})
+	srv := httptest.NewServer(NewHandler(m))
+	t.Cleanup(srv.Close)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	id, _, err := m.Submit(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Wait(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+
+	spans, err := m.Trace(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := map[string]obs.Span{}
+	byName := map[string][]obs.Span{}
+	for _, sp := range spans {
+		byID[sp.ID] = sp
+		byName[sp.Name] = append(byName[sp.Name], sp)
+	}
+	if len(byName["suite"]) != 1 {
+		t.Fatalf("trace has %d suite spans, want exactly 1", len(byName["suite"]))
+	}
+	suite := byName["suite"][0]
+	if suite.Parent != "" {
+		t.Fatalf("suite span has parent %q, want root", suite.Parent)
+	}
+	// One trace ID across local and imported spans.
+	for _, sp := range spans {
+		if sp.Trace != suite.Trace {
+			t.Fatalf("span %s/%s carries trace %q, suite has %q", sp.Name, sp.ID, sp.Trace, suite.Trace)
+		}
+	}
+
+	// The 2-grid suite shipped one grid to the peer: exactly one
+	// shard-rpc span, parented directly under the suite root.
+	if len(byName["shard-rpc"]) != 1 {
+		t.Fatalf("trace has %d shard-rpc spans, want 1", len(byName["shard-rpc"]))
+	}
+	rpc := byName["shard-rpc"][0]
+	if rpc.Parent != suite.ID {
+		t.Fatalf("shard-rpc parent = %q, want suite %q", rpc.Parent, suite.ID)
+	}
+	if rpc.Node != "" {
+		t.Fatalf("shard-rpc is local work, got node %q", rpc.Node)
+	}
+	if len(byName["merge"]) != 1 || byName["merge"][0].Parent != suite.ID {
+		t.Fatalf("merge span missing or misparented: %+v", byName["merge"])
+	}
+
+	// Remote spans came back stamped with the peer's base URL, include
+	// the peer's cell spans, and every one of them reaches the local
+	// shard-rpc span through its parent chain.
+	var remote, remoteCells int
+	for _, sp := range spans {
+		if sp.Node == "" {
+			continue
+		}
+		if sp.Node != peerSrv.URL {
+			t.Fatalf("imported span %s has node %q, want peer %q", sp.Name, sp.Node, peerSrv.URL)
+		}
+		remote++
+		if sp.Name == "cell" {
+			remoteCells++
+		}
+		cur, hops := sp, 0
+		for cur.ID != rpc.ID {
+			p, ok := byID[cur.Parent]
+			if !ok {
+				t.Fatalf("remote span %s/%s has dangling ancestor %q", sp.Name, sp.ID, cur.Parent)
+			}
+			cur = p
+			if hops++; hops > 10 {
+				t.Fatalf("remote span %s/%s never reaches shard-rpc", sp.Name, sp.ID)
+			}
+		}
+	}
+	if remote == 0 || remoteCells == 0 {
+		t.Fatalf("trace has %d remote spans (%d cells), want both > 0", remote, remoteCells)
+	}
+	// Local cells exist too: both partitions are in one trace.
+	cellsPerGrid := len(tinySpec().Eps)
+	if got := len(byName["cell"]); got != 2*cellsPerGrid {
+		t.Fatalf("trace has %d cell spans, want %d (both shards)", got, 2*cellsPerGrid)
+	}
+	if got := len(byName["cell"]) - remoteCells; got != cellsPerGrid {
+		t.Fatalf("trace has %d local cell spans, want %d", got, cellsPerGrid)
+	}
+
+	// The same tree over HTTP, in Chrome trace_event form: the remote
+	// node renders as its own process, every slice event is placeable.
+	resp, err := http.Get(srv.URL + "/v1/suites/" + id + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET trace = %d, want 200", resp.StatusCode)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Dur  float64        `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("trace endpoint is not valid JSON: %v", err)
+	}
+	pids := map[int]bool{}
+	var slices, remoteSlices int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			pids[ev.Pid] = true
+		case "X":
+			slices++
+			if ev.Pid == 0 || ev.Tid == 0 || ev.Dur <= 0 {
+				t.Fatalf("slice %q not placeable: %+v", ev.Name, ev)
+			}
+			if node, _ := ev.Args["node"].(string); node == peerSrv.URL {
+				remoteSlices++
+			}
+		default:
+			t.Fatalf("unexpected phase %q in trace", ev.Ph)
+		}
+	}
+	if len(pids) != 2 {
+		t.Fatalf("Chrome trace has %d processes, want 2 (local + peer)", len(pids))
+	}
+	if slices != len(spans) {
+		t.Fatalf("Chrome trace has %d slices for %d spans", slices, len(spans))
+	}
+	if remoteSlices != remote {
+		t.Fatalf("Chrome trace has %d remote slices for %d remote spans", remoteSlices, remote)
+	}
+
+	// Unknown jobs 404 on the trace endpoint like everywhere else.
+	resp404, err := http.Get(srv.URL + "/v1/suites/feedfeed/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp404.Body.Close()
+	if resp404.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job trace = %d, want 404", resp404.StatusCode)
+	}
+}
+
+// TestSSEKeepalive: while a job is stalled and emitting nothing, the
+// events stream still carries periodic `: keepalive` comments — what
+// keeps idle connections alive through proxies and lets the server
+// notice dead subscribers — and the Go client's parser skips them
+// without miscounting events.
+func TestSSEKeepalive(t *testing.T) {
+	old := sseKeepalive
+	sseKeepalive = 20 * time.Millisecond
+	t.Cleanup(func() { sseKeepalive = old })
+
+	gate := make(chan struct{})
+	openGate := sync.OnceFunc(func() { close(gate) })
+	defer openGate()
+	srv, _ := newTestServer(t, Config{Workers: 1, ModelSource: gatedSource(t, gate)})
+	c := NewClient(srv.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	st, _, err := c.Submit(ctx, tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Raw SSE read: the gated model source keeps the job silent, so
+	// anything arriving past the replay must be keepalive comments.
+	resp, err := http.Get(srv.URL + "/v1/suites/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	keepalives := 0
+	deadline := time.After(10 * time.Second)
+	for keepalives < 2 {
+		lineCh := make(chan string, 1)
+		go func() {
+			if sc.Scan() {
+				lineCh <- sc.Text()
+			} else {
+				close(lineCh)
+			}
+		}()
+		select {
+		case line, ok := <-lineCh:
+			if !ok {
+				t.Fatalf("stream ended after %d keepalives: %v", keepalives, sc.Err())
+			}
+			if strings.HasPrefix(line, ": keepalive") {
+				keepalives++
+			}
+		case <-deadline:
+			t.Fatalf("saw %d keepalives before timing out, want 2", keepalives)
+		}
+	}
+	resp.Body.Close()
+
+	// Unblock the job; the client-side parser must deliver exactly the
+	// real events despite the interleaved comments.
+	openGate()
+	rep, err := c.Wait(ctx, st.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Grids) != len(tinySpec().Attacks) {
+		t.Fatalf("report has %d grids, want %d", len(rep.Grids), len(tinySpec().Attacks))
+	}
+}

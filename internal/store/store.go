@@ -63,6 +63,19 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// Get/Put latency histograms in the process-wide registry: the store
+// serves both the cache's persistent tier and the job WAL, so its
+// latency distribution is the first place a slow suite's disk story
+// shows up in /metrics.
+var (
+	getHist = obs.Default.Histogram("ax_store_get_duration_seconds",
+		"Persistent store Get latency in seconds (includes misses).")
+	putHist = obs.Default.Histogram("ax_store_put_duration_seconds",
+		"Persistent store Put (append + index) latency in seconds.")
 )
 
 const (
@@ -444,6 +457,7 @@ func (s *Store) installLocked(key []byte, l loc) {
 // copied to disk immediately; durability additionally needs
 // Options.Sync (or a clean Close).
 func (s *Store) Put(key string, val []byte) error {
+	defer putHist.Time()()
 	if key == "" {
 		return errors.New("store: empty key")
 	}
@@ -533,6 +547,7 @@ func (s *Store) totalLocked() int64 {
 // record that fails its CRC on read, or a digest collision with a
 // different key all report !ok.
 func (s *Store) Get(key string) ([]byte, bool) {
+	defer getHist.Time()()
 	d := digestOf(key)
 	s.mu.RLock()
 	if s.segs == nil {
